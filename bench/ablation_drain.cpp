@@ -1,0 +1,44 @@
+// Ablation: the DPDK l2fwd TX drain timer (BURST_TX_DRAIN_US).
+//
+// Table 3's discussion blames the 0.10 R+ loopback latency blow-up on
+// "the strict batch processing of DPDK l2fwd". This sweep varies the
+// VNFs' drain timeout in a 2-VNF VPP loopback at 0.10 R+ to isolate that
+// mechanism — exactly the kind of bottleneck the paper's methodology is
+// designed to expose.
+#include <cstdio>
+
+#include "scenario/report.h"
+#include "scenario/runner.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Ablation: l2fwd drain timer — VPP loopback, 2 VNFs, 64 B ==");
+
+  scenario::ScenarioConfig base;
+  base.kind = scenario::Kind::kLoopback;
+  base.sut = switches::SwitchType::kVpp;
+  base.frame_bytes = 64;
+  base.chain_length = 2;
+  const double r_plus = scenario::measure_r_plus_mpps(base);
+  std::printf("R+ = %.2f Mpps; measuring at 0.10 R+\n\n", r_plus);
+
+  scenario::TextTable t({"drain us", "avg us", "median us", "p99 us"});
+  for (double drain_us : {10.0, 25.0, 50.0, 100.0, 200.0, 400.0}) {
+    auto cfg = base;
+    cfg.l2fwd_drain = core::from_us(drain_us);
+    cfg.rate_pps = 0.10 * r_plus * 1e6;
+    cfg.probe_interval = core::from_us(60);
+    const auto r = scenario::run_scenario(cfg);
+    t.add_row({scenario::fmt(drain_us, 0), scenario::fmt(r.lat_avg_us, 1),
+               scenario::fmt(r.lat_median_us, 1),
+               scenario::fmt(r.lat_p99_us, 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::puts("\nLow-load chain latency tracks the drain timer per hop up\n"
+            "to the point where the 32-packet burst fills FASTER than the\n"
+            "timer expires — past that crossover the count-based flush\n"
+            "takes over and latency decouples from the timer. This is the\n"
+            "batching-vs-latency trade-off the paper attributes to DPDK\n"
+            "l2fwd (and that VALE's adaptive batching avoids).");
+  return 0;
+}

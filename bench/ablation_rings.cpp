@@ -1,0 +1,35 @@
+// Ablation: NIC descriptor ring depth (Table 2's FastClick tuning,
+// generalized). Deep rings absorb service-time jitter (fewer imissed
+// drops near saturation) at the price of worst-case queueing delay.
+// Swept on t4p4s, whose noisy pipeline makes the trade-off visible.
+#include <cstdio>
+
+#include "scenario/report.h"
+#include "scenario/runner.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts(
+      "== Ablation: NIC ring depth — t4p4s, p2p, 64 B, offered 0.99R+ ==");
+  scenario::TextTable t({"ring", "Gbps", "imissed", "avg us", "p99 us"});
+  for (std::size_t ring : {128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    scenario::ScenarioConfig cfg;
+    cfg.kind = scenario::Kind::kP2p;
+    cfg.sut = switches::SwitchType::kT4p4s;
+    cfg.frame_bytes = 64;
+    cfg.nic_ring_depth = ring;
+    const double r_plus = scenario::measure_r_plus_mpps(cfg);
+    cfg.rate_pps = 0.99 * r_plus * 1e6;
+    cfg.probe_interval = core::from_us(40);
+    const auto r = scenario::run_scenario(cfg);
+    t.add_row({std::to_string(ring), scenario::fmt(r.fwd.gbps),
+               std::to_string(r.nic_imissed),
+               scenario::fmt(r.lat_avg_us, 1),
+               scenario::fmt(r.lat_p99_us, 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::puts("\nThe classic bufferbloat curve: loss falls, tail latency\n"
+            "rises. The paper's FastClick tuning (4096 descriptors) sits at\n"
+            "the low-loss end.");
+  return 0;
+}

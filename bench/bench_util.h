@@ -1,0 +1,59 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "scenario/report.h"
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace nfvsb::bench {
+
+inline constexpr std::array<std::uint32_t, 3> kPaperFrameSizes = {64, 256,
+                                                                  1024};
+
+/// One throughput table (rows = switches, cols = frame sizes) for a given
+/// scenario kind and direction, shaped like one panel of Fig. 4/5/6.
+inline void print_throughput_panel(const char* title, scenario::Kind kind,
+                                   bool bidirectional, int chain_length = 1) {
+  std::printf("-- %s --\n", title);
+  scenario::TextTable table({"Switch", "64B Gbps", "256B Gbps", "1024B Gbps",
+                             "64B Mpps", "wasted", "imissed"});
+  for (auto sw : switches::kAllSwitches) {
+    std::vector<std::string> row{switches::to_string(sw)};
+    std::vector<std::string> extra;
+    double mpps64 = 0;
+    std::uint64_t wasted = 0, imissed = 0;
+    bool skipped = false;
+    for (auto size : kPaperFrameSizes) {
+      scenario::ScenarioConfig cfg;
+      cfg.kind = kind;
+      cfg.sut = sw;
+      cfg.frame_bytes = size;
+      cfg.bidirectional = bidirectional;
+      cfg.chain_length = chain_length;
+      const auto r = scenario::run_scenario(cfg);
+      if (r.skipped) {
+        skipped = true;
+        row.push_back("-");
+        continue;
+      }
+      const double gbps = bidirectional ? r.gbps_total() : r.fwd.gbps;
+      row.push_back(scenario::fmt(gbps));
+      if (size == 64) {
+        mpps64 = bidirectional ? r.mpps_total() : r.fwd.mpps;
+        wasted = r.sut_wasted_work;
+        imissed = r.nic_imissed;
+      }
+    }
+    row.push_back(skipped ? "-" : scenario::fmt(mpps64));
+    row.push_back(std::to_string(wasted));
+    row.push_back(std::to_string(imissed));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace nfvsb::bench

@@ -1,0 +1,40 @@
+// Regenerates Fig. 1: the motivating scatter plots — bidirectional p2p,
+// 64 B frames, latency measured at an offered load of 0.95 x the measured
+// maximum throughput.
+//
+// Left panel: throughput vs mean latency (negatively correlated in the
+// paper). Right panel: mean vs standard deviation of latency (no visible
+// pattern). Printed here as the underlying table, one row per switch.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Fig. 1: p2p bidirectional 64 B, latency at 0.95 x max ==");
+  scenario::TextTable t({"Switch", "tput Gbps", "mean us", "stddev us",
+                         "median us", "p99 us"});
+  for (auto sw : switches::kAllSwitches) {
+    scenario::ScenarioConfig cfg;
+    cfg.kind = scenario::Kind::kP2p;
+    cfg.sut = sw;
+    cfg.frame_bytes = 64;
+    cfg.bidirectional = true;
+
+    // Max bidirectional throughput under saturation.
+    const auto sat = scenario::run_scenario(cfg);
+    const double max_pps = (sat.fwd.mpps + sat.rev.mpps) * 1e6;
+
+    // Replay at 95% of max (per direction), probes on.
+    cfg.rate_pps = 0.95 * max_pps / 2.0;
+    cfg.probe_interval = core::from_us(40);
+    const auto r = scenario::run_scenario(cfg);
+
+    t.add_row({switches::to_string(sw), scenario::fmt(sat.gbps_total()),
+               scenario::fmt(r.lat_avg_us, 1), scenario::fmt(r.lat_std_us, 1),
+               scenario::fmt(r.lat_median_us, 1),
+               scenario::fmt(r.lat_p99_us, 1)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Fig. 4a: p2p throughput, unidirectional and bidirectional,
+// for 64/256/1024 B frames across all seven switches.
+//
+// Paper reference points (Gbps, 64 B): uni — BESS/FastClick/VPP ~10 (line
+// rate), Snabb 8.9, OvS-DPDK 8.05, VALE 5.56, t4p4s ~5.6; bidi — BESS 16,
+// FastClick/VPP > 10, others unchanged (processing-limited).
+#include "bench_util.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Fig. 4a: p2p throughput ==");
+  bench::print_throughput_panel("unidirectional", scenario::Kind::kP2p,
+                                false);
+  bench::print_throughput_panel("bidirectional (aggregate)",
+                                scenario::Kind::kP2p, true);
+  return 0;
+}

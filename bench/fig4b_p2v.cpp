@@ -1,0 +1,33 @@
+// Regenerates Fig. 4b: p2v throughput (NIC <-> VM through the SUT),
+// unidirectional and bidirectional, 64/256/1024 B.
+//
+// Paper reference points (64 B uni, Gbps): BESS 10 (line), VPP 6.9,
+// FastClick/OvS/Snabb 5-7, VALE 5.77 (ptnet), t4p4s 4.04. Bidirectional
+// 64 B: BESS 11.38 aggregate; VPP degrades to ~5.9 because its vhost RX
+// path is slower (the paper's "reversed" probe measured 5.59 uni).
+#include "bench_util.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Fig. 4b: p2v throughput ==");
+  bench::print_throughput_panel("unidirectional (NIC -> VM)",
+                                scenario::Kind::kP2v, false);
+  bench::print_throughput_panel("bidirectional (aggregate)",
+                                scenario::Kind::kP2v, true);
+
+  // The paper's diagnostic probe: reversed unidirectional VPP (VM -> NIC).
+  std::puts("-- reversed unidirectional (VM -> NIC), 64 B --");
+  scenario::TextTable t({"Switch", "Gbps", "Mpps"});
+  for (auto sw : switches::kAllSwitches) {
+    scenario::ScenarioConfig cfg;
+    cfg.kind = scenario::Kind::kP2v;
+    cfg.sut = sw;
+    cfg.frame_bytes = 64;
+    cfg.reverse = true;
+    const auto r = scenario::run_scenario(cfg);
+    t.add_row({switches::to_string(sw), scenario::fmt(r.fwd.gbps),
+               scenario::fmt(r.fwd.mpps)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Regenerates Fig. 4c: v2v throughput (VM -> SUT -> VM), unidirectional
+// and bidirectional, 64/256/1024 B.
+//
+// Paper reference points (64 B uni, Gbps): VALE 10.50 (ptnet zero copy,
+// pkt-gen uncapped), others < 7.4; Snabb 6.42 (beats its own p2v). At
+// larger frames non-VALE switches are capped by the in-VM MoonGen's
+// 10 Gbps-equivalent pacing, while VALE's pkt-gen is CPU-limited only
+// (hence v2v 1024 B uni ~55 Gbps, bidi ~35 Gbps: the memory-bandwidth
+// regime the paper highlights).
+#include "bench_util.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Fig. 4c: v2v throughput ==");
+  bench::print_throughput_panel("unidirectional", scenario::Kind::kV2v,
+                                false);
+  bench::print_throughput_panel("bidirectional (aggregate)",
+                                scenario::Kind::kV2v, true);
+  return 0;
+}

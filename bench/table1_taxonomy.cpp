@@ -1,0 +1,17 @@
+// Regenerates the static tables of the paper: Table 1 (design-space
+// taxonomy), Table 2 (parameter tunings) and Table 5 (use-case summary).
+#include <cstdio>
+
+#include "taxonomy/taxonomy.h"
+
+int main() {
+  std::puts("== Table 1: Taxonomy of the seven software switches ==");
+  std::fputs(nfvsb::taxonomy::render_table1().c_str(), stdout);
+  std::puts("");
+  std::puts("== Table 2: Applied parameter tunings ==");
+  std::fputs(nfvsb::taxonomy::render_table2().c_str(), stdout);
+  std::puts("");
+  std::puts("== Table 5: Use-case summary ==");
+  std::fputs(nfvsb::taxonomy::render_table5().c_str(), stdout);
+  return 0;
+}

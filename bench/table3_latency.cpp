@@ -1,0 +1,54 @@
+// Regenerates Table 3: average RTT (us) at 0.10/0.50/0.99 x R+ for the
+// p2p scenario and loopback chains of 1-4 VNFs, 64 B frames.
+//
+// Methodology as in the paper (Sec. 5.3): R+ is the mean throughput under
+// saturating input; MoonGen injects PTP probes into the paced background
+// stream and reads NIC hardware timestamps. BESS rows end at 3 VNFs
+// (QEMU incompatibility, footnote 5).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace nfvsb;
+
+void run_panel(const char* title, scenario::Kind kind, int chain) {
+  std::printf("-- %s --\n", title);
+  scenario::TextTable table({"Switch", "R+ Mpps", "0.10R+ us", "0.50R+ us",
+                             "0.99R+ us", "p99@0.99 us"});
+  for (auto sw : switches::kAllSwitches) {
+    scenario::ScenarioConfig cfg;
+    cfg.kind = kind;
+    cfg.sut = sw;
+    cfg.frame_bytes = 64;
+    cfg.chain_length = chain;
+    const auto sweep = scenario::latency_sweep(
+        cfg, {scenario::kPaperLoads.begin(), scenario::kPaperLoads.end()});
+    if (sweep.skipped) {
+      table.add_row({switches::to_string(sw), "-", "-", "-", "-", "-"});
+      continue;
+    }
+    std::vector<std::string> row{switches::to_string(sw),
+                                 scenario::fmt(sweep.r_plus_mpps)};
+    for (const auto& p : sweep.points) {
+      row.push_back(scenario::fmt(p.result.lat_avg_us, 1));
+    }
+    row.push_back(scenario::fmt(sweep.points.back().result.lat_p99_us, 1));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("== Table 3: RTT latency (us), 64 B frames ==");
+  run_panel("p2p", scenario::Kind::kP2p, 1);
+  for (int n = 1; n <= 4; ++n) {
+    const std::string title = std::to_string(n) + "-VNF loopback";
+    run_panel(title.c_str(), scenario::Kind::kLoopback, n);
+  }
+  return 0;
+}

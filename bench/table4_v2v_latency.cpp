@@ -1,0 +1,34 @@
+// Regenerates Table 4: v2v RTT latency.
+//
+// Paper setup (Sec. 5.3): two virtio interfaces per VM; MoonGen in VM1
+// software-timestamps packets at 1 Mpps; VM2 bounces them back with DPDK
+// l2fwd; the SUT forwards both legs. VALE is measured with a low-rate
+// ping-like probe over ptnet and a guest-VALE bounce.
+//
+// Paper reference (us): BESS 37, FastClick 45, OvS-DPDK 43, Snabb 67,
+// VPP 42, VALE 21, t4p4s 70.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace nfvsb;
+  std::puts("== Table 4: v2v RTT latency (us) ==");
+  scenario::TextTable t({"Switch", "avg us", "median us", "p99 us",
+                         "samples"});
+  for (auto sw : switches::kAllSwitches) {
+    scenario::ScenarioConfig cfg;
+    cfg.kind = scenario::Kind::kV2v;
+    cfg.sut = sw;
+    cfg.frame_bytes = 64;
+    cfg.rate_pps = 1e6;  // paper: 672 Mbps = 1 Mpps
+    cfg.probe_interval = core::from_us(40);
+    const auto r = scenario::run_scenario(cfg);
+    t.add_row({switches::to_string(sw), scenario::fmt(r.lat_avg_us, 1),
+               scenario::fmt(r.lat_median_us, 1),
+               scenario::fmt(r.lat_p99_us, 1),
+               std::to_string(r.lat_samples)});
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  return 0;
+}

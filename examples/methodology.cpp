@@ -1,0 +1,50 @@
+// The paper's measurement methodology, end to end, on one switch:
+//  1. measure R+ (mean throughput under saturating input — NOT an RFC 2544
+//     NDR binary search, which the authors argue is unreliable in software);
+//  2. replay at 0.10 / 0.50 / 0.99 x R+ with PTP probes riding the stream;
+//  3. report the latency profile at each load.
+#include <cstdio>
+
+#include "scenario/report.h"
+#include "scenario/runner.h"
+
+int main() {
+  using namespace nfvsb;
+
+  scenario::ScenarioConfig cfg;
+  cfg.kind = scenario::Kind::kP2p;
+  cfg.sut = switches::SwitchType::kOvsDpdk;
+  cfg.frame_bytes = 64;
+
+  std::printf("Methodology demo: %s, %s, %u B frames\n",
+              switches::to_string(cfg.sut), scenario::to_string(cfg.kind),
+              cfg.frame_bytes);
+
+  const auto sweep = scenario::latency_sweep(
+      cfg, {scenario::kPaperLoads.begin(), scenario::kPaperLoads.end()});
+  if (sweep.skipped) {
+    std::printf("skipped: %s\n", sweep.skipped->c_str());
+    return 1;
+  }
+
+  std::printf("R+ = %.2f Mpps (%.2f Gbps)\n\n", sweep.r_plus_mpps,
+              core::pps_to_gbps(sweep.r_plus_mpps * 1e6, cfg.frame_bytes));
+
+  scenario::TextTable table({"load", "offered Mpps", "avg us", "median us",
+                             "p99 us", "max us", "probes"});
+  for (const auto& p : sweep.points) {
+    const auto& r = p.result;
+    table.add_row({scenario::fmt(p.load, 2) + " R+",
+                   scenario::fmt(p.rate_mpps), scenario::fmt(r.lat_avg_us, 1),
+                   scenario::fmt(r.lat_median_us, 1),
+                   scenario::fmt(r.lat_p99_us, 1),
+                   scenario::fmt(r.lat_max_us, 1),
+                   std::to_string(r.lat_samples)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nReading the profile: at 0.10 R+ batching dominates, at\n"
+            "0.99 R+ queueing does — exactly the trade-off Table 3 of the\n"
+            "paper explores across all seven switches.");
+  return 0;
+}

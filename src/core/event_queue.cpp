@@ -1,0 +1,69 @@
+#include "core/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace nfvsb::core {
+
+EventQueue::EventId EventQueue::schedule(SimTime at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  if (cancelled_.insert(id).second) {
+    // Only decrement if the id is actually still pending; ids that already
+    // fired were removed from the heap, so probing the tombstone set at pop
+    // time is harmless but the live count must stay accurate. We detect
+    // already-fired ids by the fact that pop() erases them from cancelled_
+    // lazily; to keep O(1) we instead never insert fired ids: callers hold
+    // ids only until their event fires. Defensive: clamp at zero.
+    if (live_count_ > 0) --live_count_;
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  assert(!heap_.empty());
+  // const_cast-free peek: tombstoned entries may sit on top; they are skipped
+  // in pop(), but next_time() must report the first *live* entry. Rather than
+  // mutate in a const method, scan by copy of the heap top chain — in
+  // practice tombstones are rare, so pop-side cleanup keeps the top live
+  // almost always. To stay exact we do the cleanup here via const_cast, which
+  // preserves logical state.
+  auto* self = const_cast<EventQueue*>(this);
+  self->skip_tombstones();
+  return heap_.front().time;
+}
+
+void EventQueue::skip_tombstones() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_tombstones();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_count_;
+  return Fired{e.time, std::move(e.cb)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace nfvsb::core

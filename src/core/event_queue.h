@@ -1,0 +1,69 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed by (time, sequence number). The sequence number makes
+// event ordering deterministic: two events scheduled for the same instant
+// fire in scheduling order, so repeated runs with the same seed are
+// bit-identical. Cancellation uses lazy deletion (tombstone ids).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "core/time.h"
+
+namespace nfvsb::core {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle for cancellation. Cancelled events stay in the heap but are
+  /// skipped when popped.
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  /// Schedule `cb` at absolute time `at`.
+  EventId schedule(SimTime at, Callback cb);
+
+  /// Cancel a previously scheduled event. Safe on already-fired ids.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Earliest pending event time. Pre: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  struct Fired {
+    SimTime time;
+    Callback cb;
+  };
+  /// Pop and return the earliest live event. Pre: !empty().
+  Fired pop();
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void skip_tombstones();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_{1};
+  std::size_t live_count_{0};
+};
+
+}  // namespace nfvsb::core

@@ -1,0 +1,32 @@
+#include "core/simulator.h"
+
+namespace nfvsb::core {
+
+void Simulator::run_until(SimTime until) {
+  while (!events_.empty() && events_.next_time() <= until) {
+    auto fired = events_.pop();
+    assert(fired.time >= now_ && "event time must be monotone");
+    now_ = fired.time;
+    ++events_processed_;
+    fired.cb();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  while (!events_.empty()) {
+    auto fired = events_.pop();
+    assert(fired.time >= now_ && "event time must be monotone");
+    now_ = fired.time;
+    ++events_processed_;
+    fired.cb();
+  }
+}
+
+void Simulator::reset() {
+  events_.clear();
+  now_ = 0;
+  events_processed_ = 0;
+}
+
+}  // namespace nfvsb::core

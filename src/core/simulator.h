@@ -1,0 +1,67 @@
+// Discrete-event simulator.
+//
+// Single-threaded event loop over an EventQueue. Components (NICs, CPU-core
+// servers, traffic generators) schedule callbacks; the simulator advances
+// virtual time monotonically. Determinism: identical schedules + identical
+// RNG seed => identical runs.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "core/event_queue.h"
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace nfvsb::core {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 0x5eed5eed) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule `cb` `delay` picoseconds from now. Negative delays are clamped
+  /// to zero (events cannot run in the past).
+  EventQueue::EventId schedule_in(SimDuration delay, EventQueue::Callback cb) {
+    if (delay < 0) delay = 0;
+    return events_.schedule(now_ + delay, std::move(cb));
+  }
+
+  /// Schedule at an absolute time; `at` earlier than now() is clamped.
+  EventQueue::EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+    if (at < now_) at = now_;
+    return events_.schedule(at, std::move(cb));
+  }
+
+  void cancel(EventQueue::EventId id) { events_.cancel(id); }
+
+  /// Run until the event set drains or `until` is reached (events at a time
+  /// strictly greater than `until` remain pending; now() ends at `until`).
+  void run_until(SimTime until);
+
+  /// Run until the event set drains completely.
+  void run();
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset();
+
+  [[nodiscard]] std::uint64_t events_processed() const {
+    return events_processed_;
+  }
+  [[nodiscard]] bool has_pending() const { return !events_.empty(); }
+
+ private:
+  EventQueue events_;
+  SimTime now_{0};
+  Rng rng_;
+  std::uint64_t events_processed_{0};
+};
+
+}  // namespace nfvsb::core

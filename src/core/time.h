@@ -1,0 +1,51 @@
+// Simulation time base.
+//
+// All simulation timestamps are 64-bit signed picoseconds. Picoseconds keep
+// NIC serialization arithmetic exact (a 64 B frame on 10 GbE occupies
+// 67.2 ns = 67200 ps on the wire) and still cover ~106 days of simulated
+// time, far beyond any experiment in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace nfvsb::core {
+
+/// Absolute simulation time in picoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// Durations share the representation of absolute times.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kPicosecond = 1;
+inline constexpr SimDuration kNanosecond = 1'000;
+inline constexpr SimDuration kMicrosecond = 1'000'000;
+inline constexpr SimDuration kMillisecond = 1'000'000'000;
+inline constexpr SimDuration kSecond = 1'000'000'000'000;
+
+constexpr SimDuration from_ns(double ns) {
+  return static_cast<SimDuration>(ns * static_cast<double>(kNanosecond));
+}
+constexpr SimDuration from_us(double us) {
+  return static_cast<SimDuration>(us * static_cast<double>(kMicrosecond));
+}
+constexpr SimDuration from_ms(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr SimDuration from_sec(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_ns(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kNanosecond);
+}
+constexpr double to_us(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+constexpr double to_ms(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_sec(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace nfvsb::core

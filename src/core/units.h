@@ -1,0 +1,51 @@
+// Conversions between link rates, packet rates and the paper's reporting
+// conventions.
+//
+// The paper reports throughput in Gbps of *wire occupancy*: each Ethernet
+// frame occupies (frame_size + 20) bytes on the wire (7 B preamble + 1 B SFD
+// + 12 B inter-frame gap). Hence 64 B frames at 14.88 Mpps fill a 10 Gbps
+// link exactly. All Gbps figures in benches use this convention so they are
+// directly comparable to the paper's figures.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+
+namespace nfvsb::core {
+
+/// Per-frame wire overhead on Ethernet: preamble(7) + SFD(1) + IFG(12).
+inline constexpr std::uint32_t kWireOverheadBytes = 20;
+
+/// Bits per second of a link, e.g. 10 GbE.
+struct LinkRate {
+  double bits_per_sec{10e9};
+
+  /// Time to serialize one frame of `frame_bytes` including wire overhead.
+  [[nodiscard]] SimDuration serialization_time(std::uint32_t frame_bytes) const {
+    const double bits = static_cast<double>(frame_bytes + kWireOverheadBytes) * 8.0;
+    return static_cast<SimDuration>(bits / bits_per_sec *
+                                    static_cast<double>(kSecond));
+  }
+
+  /// Line-rate packet throughput for a given frame size.
+  [[nodiscard]] double line_rate_pps(std::uint32_t frame_bytes) const {
+    return bits_per_sec /
+           (static_cast<double>(frame_bytes + kWireOverheadBytes) * 8.0);
+  }
+};
+
+inline constexpr LinkRate kTenGigE{10e9};
+
+/// Wire-occupancy Gbps for a measured packet rate (paper's convention).
+inline double pps_to_gbps(double pps, std::uint32_t frame_bytes) {
+  return pps * static_cast<double>(frame_bytes + kWireOverheadBytes) * 8.0 / 1e9;
+}
+
+/// Inverse of pps_to_gbps.
+inline double gbps_to_pps(double gbps, std::uint32_t frame_bytes) {
+  return gbps * 1e9 /
+         (static_cast<double>(frame_bytes + kWireOverheadBytes) * 8.0);
+}
+
+}  // namespace nfvsb::core

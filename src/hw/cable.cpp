@@ -1,0 +1,25 @@
+#include "hw/cable.h"
+
+#include <cassert>
+
+#include "hw/nic.h"
+
+namespace nfvsb::hw {
+
+Cable::Cable(core::Simulator& sim, NicPort& a, NicPort& b,
+             core::SimDuration propagation)
+    : sim_(sim), a_(a), b_(b), propagation_(propagation) {
+  a_.attach_cable(this);
+  b_.attach_cable(this);
+}
+
+void Cable::transmit(NicPort& from, pkt::PacketHandle p) {
+  NicPort& to = (&from == &a_) ? b_ : a_;
+  assert(&from == &a_ || &from == &b_);
+  auto* raw = p.release();
+  sim_.schedule_in(propagation_, [&to, raw] {
+    to.deliver_from_wire(pkt::PacketHandle{raw});
+  });
+}
+
+}  // namespace nfvsb::hw

@@ -1,0 +1,33 @@
+// Direct-attach cable between two NIC ports (the testbed wires each NUMA
+// node's NIC to the other node's NIC, Fig. 3).
+#pragma once
+
+#include "core/simulator.h"
+#include "core/time.h"
+#include "pkt/packet.h"
+
+namespace nfvsb::hw {
+
+class NicPort;
+
+class Cable {
+ public:
+  /// ~1 m DAC: a few ns of propagation.
+  Cable(core::Simulator& sim, NicPort& a, NicPort& b,
+        core::SimDuration propagation = core::from_ns(5));
+
+  Cable(const Cable&) = delete;
+  Cable& operator=(const Cable&) = delete;
+
+  /// Called by a port when a frame's last bit leaves it; the frame arrives
+  /// at the peer after the propagation delay.
+  void transmit(NicPort& from, pkt::PacketHandle p);
+
+ private:
+  core::Simulator& sim_;
+  NicPort& a_;
+  NicPort& b_;
+  core::SimDuration propagation_;
+};
+
+}  // namespace nfvsb::hw

@@ -1,0 +1,38 @@
+#include "hw/cpu_core.h"
+
+#include <utility>
+
+namespace nfvsb::hw {
+
+void CpuCore::submit(core::SimDuration work, std::function<void()> done) {
+  queue_.push_back(Job{work, std::move(done)});
+  if (!busy_) start_next();
+}
+
+void CpuCore::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+  busy_time_ += job.work;
+  sim_.schedule_in(job.work, [this, done = std::move(job.done)]() {
+    done();
+    start_next();
+  });
+}
+
+double CpuCore::utilization() const {
+  const core::SimDuration wall = sim_.now() - stats_since_;
+  if (wall <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(wall);
+}
+
+void CpuCore::reset_stats() {
+  busy_time_ = 0;
+  stats_since_ = sim_.now();
+}
+
+}  // namespace nfvsb::hw

@@ -1,0 +1,92 @@
+#include "hw/nic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "hw/cable.h"
+#include "pkt/headers.h"
+
+namespace nfvsb::hw {
+
+NicPort::NicPort(core::Simulator& sim, std::string name, Config cfg)
+    : sim_(sim), name_(std::move(name)), cfg_(cfg) {
+  assert(cfg.num_queues >= 1);
+  for (std::size_t q = 0; q < cfg.num_queues; ++q) {
+    rx_rings_.push_back(std::make_unique<ring::SpscRing>(
+        name_ + ".rx" + std::to_string(q), cfg.rx_ring_depth));
+    tx_rings_.push_back(std::make_unique<ring::SpscRing>(
+        name_ + ".tx" + std::to_string(q), cfg.tx_ring_depth));
+    tx_rings_.back()->set_watcher([this](bool) { on_tx_enqueue(); });
+  }
+}
+
+std::uint64_t NicPort::imissed() const {
+  std::uint64_t n = 0;
+  for (const auto& r : rx_rings_) n += r->drops();
+  return n;
+}
+
+void NicPort::on_tx_enqueue() {
+  if (tx_busy_) return;
+  tx_busy_ = true;
+  // First frame of a busy period pays the descriptor/DMA fetch latency; the
+  // rest of the burst pipelines it behind serialization.
+  sim_.schedule_in(cfg_.dma_tx_latency, [this] { serialize_next(); });
+}
+
+void NicPort::serialize_next() {
+  // Round-robin across TX queues (82599 WRR with equal weights).
+  pkt::PacketHandle p;
+  for (std::size_t k = 0; k < tx_rings_.size(); ++k) {
+    const std::size_t q = (tx_rr_ + k) % tx_rings_.size();
+    p = tx_rings_[q]->dequeue();
+    if (p) {
+      tx_rr_ = (q + 1) % tx_rings_.size();
+      break;
+    }
+  }
+  if (!p) {
+    tx_busy_ = false;
+    return;
+  }
+  const core::SimDuration ser = cfg_.rate.serialization_time(p->size());
+  // The frame occupies the wire until `ser` from now; it is delivered (and
+  // HW-timestamped) when its last bit leaves the MAC.
+  auto* raw = p.release();
+  sim_.schedule_in(ser, [this, raw] {
+    pkt::PacketHandle frame{raw};
+    ++tx_frames_;
+    if (cfg_.hw_timestamping && frame->probe_id != 0 &&
+        frame->tx_timestamp == 0) {
+      frame->tx_timestamp = sim_.now();
+    }
+    if (cable_ != nullptr) {
+      cable_->transmit(*this, std::move(frame));
+    }
+    // No cable: frame vanishes (unplugged port), handle frees it.
+    serialize_next();
+  });
+}
+
+std::size_t NicPort::rss_queue(const pkt::Packet& p) const {
+  if (rx_rings_.size() == 1) return 0;
+  const auto tuple = pkt::parse_five_tuple(p.bytes());
+  if (!tuple) return 0;  // non-IP lands on queue 0
+  return static_cast<std::size_t>(tuple->hash() % rx_rings_.size());
+}
+
+void NicPort::deliver_from_wire(pkt::PacketHandle p) {
+  ++rx_frames_;
+  if (cfg_.hw_timestamping && p->probe_id != 0 && rx_ts_hook_) {
+    // 82599 stamps PTP frames at the MAC, before DMA.
+    rx_ts_hook_(*p, sim_.now());
+  }
+  const std::size_t q = rss_queue(*p);
+  auto* raw = p.release();
+  sim_.schedule_in(cfg_.dma_rx_latency, [this, q, raw] {
+    rx_rings_[q]->enqueue(pkt::PacketHandle{raw});  // overflow => imissed
+  });
+}
+
+}  // namespace nfvsb::hw

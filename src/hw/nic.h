@@ -1,0 +1,109 @@
+// Model of one port of an Intel 82599-class 10 GbE NIC.
+//
+// Host side: RX descriptor rings (NIC -> host) and TX descriptor rings
+// (host -> NIC), one pair per hardware queue. With multiple queues, RSS
+// hashes each incoming frame's 5-tuple onto a queue — the mechanism behind
+// the multi-core scaling the paper defers to future work (Sec. 6) and that
+// bench/ablation_multicore explores. Wire side: serialization at line rate
+// including Ethernet preamble/IFG overhead, connected to a peer via a
+// Cable; TX queues are drained round-robin onto the single wire.
+//
+// Behaviours that matter to the paper's measurements:
+//  * line rate is the hard ceiling in every scenario with physical ports;
+//  * RX-ring overflow is where congestion loss appears when the SUT cannot
+//    keep up (ixgbe `imissed`);
+//  * hardware PTP timestamping of probe frames on TX and RX, used by
+//    MoonGen for RTT measurement (Sec. 5.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "core/units.h"
+#include "ring/spsc_ring.h"
+
+namespace nfvsb::hw {
+
+class Cable;
+
+class NicPort {
+ public:
+  struct Config {
+    core::LinkRate rate = core::kTenGigE;
+    std::size_t rx_ring_depth{512};
+    std::size_t tx_ring_depth{512};
+    /// Hardware queues (RSS spreads RX across them by 5-tuple hash).
+    std::size_t num_queues{1};
+    bool hw_timestamping{true};
+    /// PCIe DMA + descriptor write-back latency before a received frame
+    /// becomes visible in the host RX ring. Adds latency, not rate loss.
+    core::SimDuration dma_rx_latency{core::from_ns(2400)};
+    /// Descriptor fetch + DMA read latency paid once per TX busy period
+    /// (pipelined away within a burst).
+    core::SimDuration dma_tx_latency{core::from_ns(1000)};
+  };
+
+  NicPort(core::Simulator& sim, std::string name, Config cfg);
+  NicPort(core::Simulator& sim, std::string name)
+      : NicPort(sim, std::move(name), Config{}) {}
+
+  NicPort(const NicPort&) = delete;
+  NicPort& operator=(const NicPort&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const core::LinkRate& rate() const { return cfg_.rate; }
+  [[nodiscard]] std::size_t num_queues() const { return rx_rings_.size(); }
+
+  /// Host-facing rings of queue 0 (the single-queue common case).
+  [[nodiscard]] ring::SpscRing& rx_ring() { return rx_ring(0); }
+  [[nodiscard]] ring::SpscRing& tx_ring() { return tx_ring(0); }
+
+  /// Per-queue rings.
+  [[nodiscard]] ring::SpscRing& rx_ring(std::size_t q) {
+    return *rx_rings_.at(q);
+  }
+  [[nodiscard]] ring::SpscRing& tx_ring(std::size_t q) {
+    return *tx_rings_.at(q);
+  }
+
+  /// RX frames dropped because an RX ring was full (ixgbe imissed).
+  [[nodiscard]] std::uint64_t imissed() const;
+  [[nodiscard]] std::uint64_t tx_frames() const { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_frames() const { return rx_frames_; }
+
+  /// Wire attachment (set by Cable).
+  void attach_cable(Cable* c) { cable_ = c; }
+  [[nodiscard]] bool link_up() const { return cable_ != nullptr; }
+
+  /// Called by the cable when a frame finishes arriving at this port.
+  void deliver_from_wire(pkt::PacketHandle p);
+
+  /// Callback invoked with (frame, rx_wire_time) when a HW-timestamped
+  /// probe frame arrives — how MoonGen reads RX timestamps off the NIC.
+  /// The frame reference is only valid during the call.
+  using RxTimestampHook =
+      std::function<void(const pkt::Packet&, core::SimTime)>;
+  void set_rx_timestamp_hook(RxTimestampHook h) { rx_ts_hook_ = std::move(h); }
+
+ private:
+  void on_tx_enqueue();
+  void serialize_next();
+  [[nodiscard]] std::size_t rss_queue(const pkt::Packet& p) const;
+
+  core::Simulator& sim_;
+  std::string name_;
+  Config cfg_;
+  std::vector<std::unique_ptr<ring::SpscRing>> rx_rings_;
+  std::vector<std::unique_ptr<ring::SpscRing>> tx_rings_;
+  Cable* cable_{nullptr};
+  bool tx_busy_{false};
+  std::size_t tx_rr_{0};
+  std::uint64_t tx_frames_{0};
+  std::uint64_t rx_frames_{0};
+  RxTimestampHook rx_ts_hook_;
+};
+
+}  // namespace nfvsb::hw

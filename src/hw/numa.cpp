@@ -1,0 +1,35 @@
+#include "hw/numa.h"
+
+#include <cassert>
+
+namespace nfvsb::hw {
+
+Testbed::Testbed(core::Simulator& sim, Config cfg) {
+  nodes_.resize(2);
+  next_core_.assign(2, 0);
+  for (int n = 0; n < 2; ++n) {
+    auto& node = nodes_[static_cast<std::size_t>(n)];
+    node.id = n;
+    for (int p = 0; p < 2; ++p) {
+      node.nic_ports.push_back(std::make_unique<NicPort>(
+          sim, "nic" + std::to_string(n) + "." + std::to_string(p), cfg.nic));
+    }
+    for (int c = 0; c < cfg.cores_per_node; ++c) {
+      node.cores.push_back(std::make_unique<CpuCore>(
+          sim, "core" + std::to_string(n) + "." + std::to_string(c), n));
+    }
+  }
+  // Wire node 0's ports to node 1's ports (Fig. 3 blue arrows).
+  for (int p = 0; p < 2; ++p) {
+    cables_.push_back(std::make_unique<Cable>(sim, nic(0, p), nic(1, p)));
+  }
+}
+
+CpuCore& Testbed::take_core(int n) {
+  auto& idx = next_core_.at(static_cast<std::size_t>(n));
+  auto& node = nodes_.at(static_cast<std::size_t>(n));
+  assert(idx < node.cores.size() && "out of isolated cores on this node");
+  return *node.cores[idx++];
+}
+
+}  // namespace nfvsb::hw

@@ -1,0 +1,27 @@
+#include "pkt/checksum.h"
+
+namespace nfvsb::pkt {
+namespace {
+
+std::uint32_t ones_sum(std::span<const std::uint8_t> bytes) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((bytes[i] << 8) | bytes[i + 1]);
+  }
+  if (i < bytes.size()) sum += static_cast<std::uint32_t>(bytes[i] << 8);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) {
+  return static_cast<std::uint16_t>(~ones_sum(bytes) & 0xffff);
+}
+
+bool verify_internet_checksum(std::span<const std::uint8_t> bytes) {
+  return ones_sum(bytes) == 0xffff;
+}
+
+}  // namespace nfvsb::pkt

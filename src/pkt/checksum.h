@@ -1,0 +1,17 @@
+// RFC 1071 internet checksum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace nfvsb::pkt {
+
+/// One's-complement sum over `bytes` (checksum field must be zeroed by the
+/// caller when computing a fresh checksum).
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes);
+
+/// True iff the one's-complement sum over `bytes` (including the stored
+/// checksum field) is all-ones, i.e. the checksum verifies.
+bool verify_internet_checksum(std::span<const std::uint8_t> bytes);
+
+}  // namespace nfvsb::pkt

@@ -1,0 +1,54 @@
+#include "pkt/crafting.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nfvsb::pkt {
+
+void craft_udp_frame(Packet& p, const FrameSpec& spec) {
+  assert(spec.frame_bytes >= kMinCraftedFrame &&
+         spec.frame_bytes <= kMaxFrameBytes);
+  p.resize(spec.frame_bytes);
+  auto bytes = p.bytes();
+  std::memset(bytes.data(), 0, bytes.size());
+
+  EthHeader eth(bytes);
+  eth.set_dst(spec.dst_mac);
+  eth.set_src(spec.src_mac);
+  eth.set_ether_type(kEtherTypeIpv4);
+
+  Ipv4Header ip(eth.payload());
+  ip.init();
+  ip.set_protocol(kIpProtoUdp);
+  ip.set_src(spec.src_ip);
+  ip.set_dst(spec.dst_ip);
+  ip.set_total_length(
+      static_cast<std::uint16_t>(spec.frame_bytes - kEthHeaderBytes));
+  ip.update_checksum();
+
+  UdpHeader udp(ip.payload());
+  udp.set_src_port(spec.src_port);
+  udp.set_dst_port(spec.dst_port);
+  udp.set_length(static_cast<std::uint16_t>(spec.frame_bytes -
+                                            kEthHeaderBytes -
+                                            kIpv4HeaderBytes));
+}
+
+void write_payload_seq(Packet& p, std::uint64_t seq) {
+  assert(p.size() >= kUdpPayloadOffset + 8);
+  std::uint8_t* d = p.data() + kUdpPayloadOffset;
+  for (int i = 7; i >= 0; --i) {
+    d[i] = static_cast<std::uint8_t>(seq & 0xff);
+    seq >>= 8;
+  }
+}
+
+std::uint64_t read_payload_seq(const Packet& p) {
+  assert(p.size() >= kUdpPayloadOffset + 8);
+  const std::uint8_t* d = p.data() + kUdpPayloadOffset;
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 8; ++i) seq = (seq << 8) | d[i];
+  return seq;
+}
+
+}  // namespace nfvsb::pkt

@@ -1,0 +1,38 @@
+// Frame crafting helpers used by traffic generators (MoonGen / pkt-gen
+// models): build valid Ethernet/IPv4/UDP frames of a requested wire size.
+#pragma once
+
+#include <cstdint>
+
+#include "pkt/headers.h"
+#include "pkt/packet.h"
+
+namespace nfvsb::pkt {
+
+struct FrameSpec {
+  std::uint32_t frame_bytes{64};  ///< total L2 frame size (no FCS modelled)
+  MacAddress src_mac{MacAddress::from_u64(0x020000000001ULL)};
+  MacAddress dst_mac{MacAddress::from_u64(0x020000000002ULL)};
+  Ipv4Address src_ip{Ipv4Address::parse("10.0.0.1").value()};
+  Ipv4Address dst_ip{Ipv4Address::parse("10.0.0.2").value()};
+  std::uint16_t src_port{1234};
+  std::uint16_t dst_port{5678};
+};
+
+/// Write a complete UDP-in-IPv4-in-Ethernet frame into `p` per `spec`,
+/// including a valid IPv4 header checksum. The UDP payload is zero-filled;
+/// generators overwrite the first bytes with sequence numbers / timestamps.
+void craft_udp_frame(Packet& p, const FrameSpec& spec);
+
+/// Offset of the UDP payload within a crafted frame.
+inline constexpr std::size_t kUdpPayloadOffset =
+    kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes;
+
+/// Minimum frame that still carries a 16-byte measurement payload.
+inline constexpr std::uint32_t kMinCraftedFrame = 64;
+
+/// Write/read the 8-byte big-endian sequence tag at the payload start.
+void write_payload_seq(Packet& p, std::uint64_t seq);
+std::uint64_t read_payload_seq(const Packet& p);
+
+}  // namespace nfvsb::pkt

@@ -1,0 +1,67 @@
+#include "pkt/packet_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace nfvsb::pkt {
+
+PacketPool::PacketPool(std::size_t capacity) : capacity_(capacity) {
+  storage_.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    // Packet's ctor is private; construct via explicit new into unique_ptr.
+    auto* raw = new Packet();  // owned immediately below
+    storage_.emplace_back(raw);
+    raw->owner_ = this;
+    raw->pool_next_ = free_list_;
+    free_list_ = raw;
+  }
+}
+
+PacketPool::~PacketPool() {
+  assert(outstanding_ == 0 && "packets leaked past their pool's lifetime");
+}
+
+PacketHandle PacketPool::allocate() {
+  if (free_list_ == nullptr) {
+    ++alloc_failures_;
+    return {};
+  }
+  Packet* p = free_list_;
+  free_list_ = p->pool_next_;
+  p->pool_next_ = nullptr;
+  ++outstanding_;
+  // Reset metadata; payload bytes are overwritten by the producer.
+  p->size_ = 0;
+  p->seq = 0;
+  p->probe_id = 0;
+  p->tx_timestamp = 0;
+  p->sw_timestamp = 0;
+  p->copy_count = 0;
+  p->origin = 0;
+  return PacketHandle{p};
+}
+
+PacketHandle PacketPool::clone(const Packet& src) {
+  PacketHandle h = allocate();
+  if (!h) return h;
+  Packet& dst = *h;
+  dst.size_ = src.size_;
+  std::memcpy(dst.data_.data(), src.data_.data(), src.size_);
+  dst.seq = src.seq;
+  dst.probe_id = src.probe_id;
+  dst.tx_timestamp = src.tx_timestamp;
+  dst.sw_timestamp = src.sw_timestamp;
+  dst.origin = src.origin;
+  dst.copy_count = src.copy_count + 1;
+  return h;
+}
+
+void PacketPool::free_packet(Packet* p) {
+  assert(p->owner_ == this);
+  assert(outstanding_ > 0);
+  p->pool_next_ = free_list_;
+  free_list_ = p;
+  --outstanding_;
+}
+
+}  // namespace nfvsb::pkt

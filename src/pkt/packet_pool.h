@@ -1,0 +1,50 @@
+// Fixed-size packet buffer pool (mempool-style).
+//
+// All packets in a simulation come from pools; exhaustion is a real,
+// observable condition (DPDK mempool depletion) surfaced as allocate()
+// returning an empty handle. Pools also give tests a leak detector:
+// outstanding() must return to zero when a scenario drains.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "pkt/packet.h"
+
+namespace nfvsb::pkt {
+
+class PacketPool {
+ public:
+  explicit PacketPool(std::size_t capacity);
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Empty handle on exhaustion.
+  [[nodiscard]] PacketHandle allocate();
+
+  /// Allocate and copy `src` (payload + measurement metadata); the copy
+  /// counter of the clone is incremented. Empty handle on exhaustion.
+  [[nodiscard]] PacketHandle clone(const Packet& src);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::size_t available() const {
+    return capacity_ - outstanding_;
+  }
+  [[nodiscard]] std::uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  friend class PacketHandle;
+  void free_packet(Packet* p);
+
+  std::size_t capacity_;
+  std::size_t outstanding_{0};
+  std::uint64_t alloc_failures_{0};
+  std::vector<std::unique_ptr<Packet>> storage_;
+  Packet* free_list_{nullptr};
+};
+
+}  // namespace nfvsb::pkt

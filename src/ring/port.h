@@ -1,0 +1,104 @@
+// Port abstraction: one side of an attachment between a packet-processing
+// component (switch, VM app, NIC) and its peer.
+//
+// A Port bundles an inbound ring (peer -> holder) and an outbound ring
+// (holder -> peer), a PortKind that the switch cost models key on, and copy
+// semantics (whether moving a packet across this port implies a payload
+// copy, as vhost-user does and ptnet does not).
+//
+// Ports either own their rings (vhost-user, ptnet, internal links) or bind
+// rings owned elsewhere (a NIC's descriptor rings).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ring/spsc_ring.h"
+
+namespace nfvsb::ring {
+
+/// Default descriptor-ring depth; FastClick's tuning (Table 2) raises it.
+inline constexpr std::size_t kDefaultRingDepth = 512;
+
+enum class PortKind : std::uint8_t {
+  kPhysical,   ///< NIC queue via poll-mode driver
+  kVhostUser,  ///< virtio ring shared with a VM, vhost-user backend
+  kPtnet,      ///< netmap ptnet passthrough to a VM (zero copy)
+  kNetmapHost, ///< host netmap virtual port (VALE attachment)
+  kInternal,   ///< intra-switch link (Snabb inter-app links etc.)
+};
+
+const char* to_string(PortKind k);
+
+class Port {
+ public:
+  /// Owning constructor: allocates both rings at `ring_depth`.
+  Port(std::string name, PortKind kind, std::size_t ring_depth);
+
+  /// Binding constructor: wraps rings owned elsewhere (e.g. a NIC).
+  Port(std::string name, PortKind kind, SpscRing& in, SpscRing& out);
+
+  virtual ~Port() = default;
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] PortKind kind() const { return kind_; }
+
+  /// Ring carrying packets toward the holder (holder rx-polls this).
+  [[nodiscard]] SpscRing& in() { return *in_; }
+  /// Ring carrying packets away from the holder.
+  [[nodiscard]] SpscRing& out() { return *out_; }
+  [[nodiscard]] const SpscRing& in() const { return *in_; }
+  [[nodiscard]] const SpscRing& out() const { return *out_; }
+
+  /// Whether receiving via this port copies the payload into holder memory.
+  [[nodiscard]] virtual bool copies_on_rx() const { return false; }
+  /// Whether transmitting via this port copies the payload out.
+  [[nodiscard]] virtual bool copies_on_tx() const { return false; }
+
+  /// Receive one packet, honoring copy semantics (updates copy counters).
+  pkt::PacketHandle rx();
+
+  /// Transmit one packet, honoring copy semantics. Returns false on drop.
+  bool tx(pkt::PacketHandle p);
+
+  [[nodiscard]] std::uint64_t tx_drops() const { return out_->drops(); }
+
+ private:
+  std::string name_;
+  PortKind kind_;
+  std::unique_ptr<SpscRing> owned_in_;
+  std::unique_ptr<SpscRing> owned_out_;
+  SpscRing* in_;
+  SpscRing* out_;
+};
+
+/// Plain port with configurable copy flags — covers physical queues and
+/// internal links.
+class RingPort final : public Port {
+ public:
+  RingPort(std::string name, PortKind kind,
+           std::size_t ring_depth = kDefaultRingDepth, bool copy_rx = false,
+           bool copy_tx = false)
+      : Port(std::move(name), kind, ring_depth),
+        copy_rx_(copy_rx),
+        copy_tx_(copy_tx) {}
+
+  /// Bind-variant (e.g. wrapping a NIC's rings as a switch port).
+  RingPort(std::string name, PortKind kind, SpscRing& in, SpscRing& out,
+           bool copy_rx = false, bool copy_tx = false)
+      : Port(std::move(name), kind, in, out),
+        copy_rx_(copy_rx),
+        copy_tx_(copy_tx) {}
+
+  [[nodiscard]] bool copies_on_rx() const override { return copy_rx_; }
+  [[nodiscard]] bool copies_on_tx() const override { return copy_tx_; }
+
+ private:
+  bool copy_rx_;
+  bool copy_tx_;
+};
+
+}  // namespace nfvsb::ring

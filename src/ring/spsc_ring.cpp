@@ -1,0 +1,38 @@
+#include "ring/spsc_ring.h"
+
+#include <cassert>
+
+namespace nfvsb::ring {
+
+bool SpscRing::enqueue(pkt::PacketHandle p) {
+  if (sink_) {
+    ++enqueued_;
+    ++dequeued_;
+    sink_(std::move(p));
+    return true;
+  }
+  if (q_.size() >= capacity_) {
+    ++drops_;
+    return false;  // handle destructor frees the packet
+  }
+  const bool was_empty = q_.empty();
+  q_.push_back(std::move(p));
+  ++enqueued_;
+  if (watcher_) watcher_(was_empty);
+  return true;
+}
+
+pkt::PacketHandle SpscRing::dequeue() {
+  if (q_.empty()) return {};
+  pkt::PacketHandle p = std::move(q_.front());
+  q_.pop_front();
+  ++dequeued_;
+  return p;
+}
+
+void SpscRing::set_sink(Sink s) {
+  assert(q_.empty() && "install sinks before traffic starts");
+  sink_ = std::move(s);
+}
+
+}  // namespace nfvsb::ring

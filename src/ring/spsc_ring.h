@@ -1,0 +1,78 @@
+// Fixed-capacity FIFO ring of packets, the universal buffering element of
+// the simulated data plane (NIC descriptor rings, virtio vrings, netmap
+// rings, inter-module links).
+//
+// Two delivery modes:
+//  * buffered (default): producers enqueue, a consumer polls; a watcher
+//    callback fires on the empty->non-empty transition so pollers/interrupt
+//    handlers can be woken without busy-looping simulated time;
+//  * sink: a sink callback consumes packets immediately on enqueue (used by
+//    zero-overhead traffic monitors, per the paper's use of FloWatcher /
+//    MoonGen RX whose overhead is negligible).
+//
+// Enqueueing into a full ring drops the packet (freed back to its pool) and
+// counts the drop — this is where all simulated loss happens, exactly as in
+// the real systems (NIC imissed, vring full, link overflow).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "pkt/packet.h"
+
+namespace nfvsb::ring {
+
+class SpscRing {
+ public:
+  /// Invoked after every successful enqueue; the argument is true when the
+  /// ring transitioned empty -> non-empty with this packet.
+  using Watcher = std::function<void(bool became_nonempty)>;
+  using Sink = std::function<void(pkt::PacketHandle)>;
+
+  SpscRing(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// True if accepted; false if the ring was full (packet dropped & freed).
+  bool enqueue(pkt::PacketHandle p);
+
+  /// Empty handle when the ring is empty.
+  pkt::PacketHandle dequeue();
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] bool full() const { return q_.size() >= capacity_; }
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t enqueued() const { return enqueued_; }
+  [[nodiscard]] std::uint64_t dequeued() const { return dequeued_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Fires on every successful enqueue (see Watcher).
+  void set_watcher(Watcher w) { watcher_ = std::move(w); }
+
+  /// Divert all future enqueues straight into `s` (monitor mode). The ring
+  /// must be empty when the sink is installed.
+  void set_sink(Sink s);
+
+  /// Drop everything buffered (used at scenario teardown).
+  void clear() { q_.clear(); }
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<pkt::PacketHandle> q_;
+  Watcher watcher_;
+  Sink sink_;
+  std::uint64_t drops_{0};
+  std::uint64_t enqueued_{0};
+  std::uint64_t dequeued_{0};
+};
+
+}  // namespace nfvsb::ring

@@ -1,0 +1,92 @@
+// Shared machinery for the scenario builders (internal header).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/simulator.h"
+#include "hw/numa.h"
+#include "pkt/crafting.h"
+#include "pkt/packet_pool.h"
+#include "scenario/scenario.h"
+#include "stats/latency_recorder.h"
+#include "switches/switch_base.h"
+#include "traffic/moongen.h"
+
+namespace nfvsb::scenario::detail {
+
+/// Everything a scenario owns. Declaration order fixes teardown order:
+/// the simulator dies last (pending-event lambdas may hold packets), the
+/// pool second-to-last (all ring-held packets must be home by then).
+struct Env {
+  explicit Env(const ScenarioConfig& cfg)
+      : sim(cfg.seed), testbed(sim, testbed_config(cfg)), pool(1 << 16) {}
+
+  static hw::Testbed::Config testbed_config(const ScenarioConfig& cfg) {
+    hw::Testbed::Config tc;
+    tc.cores_per_node = 24;
+    // Table 2 tuning: FastClick raises the descriptor ring size to 4096.
+    if (cfg.sut == switches::SwitchType::kFastClick) {
+      tc.nic.rx_ring_depth = 4096;
+      tc.nic.tx_ring_depth = 4096;
+    }
+    // t4p4s generated drivers configure deep descriptor rings.
+    if (cfg.sut == switches::SwitchType::kT4p4s) {
+      tc.nic.rx_ring_depth = 2048;
+      tc.nic.tx_ring_depth = 2048;
+    }
+    // OvS-DPDK defaults its DPDK ports to 2048 descriptors (n_rxq_desc).
+    if (cfg.sut == switches::SwitchType::kOvsDpdk) {
+      tc.nic.rx_ring_depth = 2048;
+      tc.nic.tx_ring_depth = 2048;
+    }
+    if (cfg.nic_ring_depth > 0) {
+      tc.nic.rx_ring_depth = cfg.nic_ring_depth;
+      tc.nic.tx_ring_depth = cfg.nic_ring_depth;
+    }
+    if (cfg.sut_workers > 1) {
+      tc.nic.num_queues = static_cast<std::size_t>(cfg.sut_workers);
+    }
+    return tc;
+  }
+
+  core::Simulator sim;
+  hw::Testbed testbed;
+  pkt::PacketPool pool;
+
+  [[nodiscard]] core::SimTime t_stop(const ScenarioConfig& cfg) const {
+    return cfg.warmup + cfg.measure;
+  }
+};
+
+/// One forwarding decision the SUT must implement: in-port -> out-port.
+struct WirePair {
+  std::size_t in;
+  std::size_t out;
+};
+
+/// The destination MAC that addresses SUT egress port `out_idx` in the
+/// t4p4s l2fwd table (and is used uniformly in generated frames so every
+/// switch sees identical traffic).
+pkt::MacAddress dst_mac_for_port(std::size_t out_idx);
+
+/// Program the SUT's forwarding using its native configuration interface
+/// (ovs-ofctl, VPP CLI, Click config, bess wiring, Snabb app network, P4
+/// table entries). VALE needs no wiring (L2 learning + flood).
+/// Must be called after all SUT ports exist and before sut.start()/
+/// traffic. For Snabb this also commits the app network.
+void wire_sut(switches::SwitchBase& sut, switches::SwitchType type,
+              const std::vector<WirePair>& pairs);
+
+/// Frame spec for the forward / reverse generator of a scenario whose
+/// first SUT egress is `first_out_idx` (keys the t4p4s table).
+pkt::FrameSpec make_frame(const ScenarioConfig& cfg, bool reverse_dir,
+                          std::size_t first_out_idx);
+
+/// Copy latency statistics out of a recorder.
+void fill_latency(ScenarioResult& r, const stats::LatencyRecorder& lat);
+
+/// Direction throughput out of a meter.
+DirectionResult direction_result(const stats::ThroughputMeter& m);
+
+}  // namespace nfvsb::scenario::detail

@@ -1,0 +1,95 @@
+// p2p (physical-to-physical): the SUT forwards between its two NUMA-0 NIC
+// ports; MoonGen on NUMA node 1 generates and monitors (Fig. 3a).
+#include <memory>
+
+#include "scenario/detail.h"
+#include "scenario/scenario.h"
+
+namespace nfvsb::scenario {
+
+ScenarioResult run_p2p(const ScenarioConfig& cfg) {
+  using namespace detail;
+  Env env(cfg);
+
+  // One data-plane worker per core; each serves its own RSS queue pair.
+  // Worker 0 is "the SUT" for single-core runs (the paper's rule).
+  std::vector<std::unique_ptr<switches::SwitchBase>> workers;
+  for (int w = 0; w < std::max(1, cfg.sut_workers); ++w) {
+    auto sw = switches::make_switch(
+        cfg.sut, env.sim, env.testbed.take_core(0),
+        cfg.sut_workers > 1 ? "sut.w" + std::to_string(w) : "sut");
+    sw->add_port(std::make_unique<ring::RingPort>(
+        sw->name() + ":nic0.q" + std::to_string(w),
+        ring::PortKind::kPhysical,
+        env.testbed.nic(0, 0).rx_ring(static_cast<std::size_t>(w)),
+        env.testbed.nic(0, 0).tx_ring(static_cast<std::size_t>(w))));
+    sw->add_port(std::make_unique<ring::RingPort>(
+        sw->name() + ":nic1.q" + std::to_string(w),
+        ring::PortKind::kPhysical,
+        env.testbed.nic(0, 1).rx_ring(static_cast<std::size_t>(w)),
+        env.testbed.nic(0, 1).tx_ring(static_cast<std::size_t>(w))));
+    if (cfg.tune_sut) cfg.tune_sut(*sw);
+    std::vector<WirePair> pairs{{0, 1}};
+    if (cfg.bidirectional) pairs.push_back({1, 0});
+    wire_sut(*sw, cfg.sut, pairs);
+    sw->start();
+    workers.push_back(std::move(sw));
+  }
+  switches::SwitchBase* sut = workers.front().get();
+  (void)sut;
+
+  const core::SimTime t_stop = env.t_stop(cfg);
+
+  traffic::MoonGen::Config fwd_cfg;
+  fwd_cfg.frame = make_frame(cfg, false, /*first_out_idx=*/1);
+  fwd_cfg.rate_pps = cfg.rate_pps;
+  fwd_cfg.num_flows = cfg.num_flows;
+  fwd_cfg.probe_interval = cfg.probe_interval;
+  fwd_cfg.meter_open_at = cfg.warmup;
+  fwd_cfg.origin = 1;
+  traffic::MoonGen gen_fwd(env.sim, env.pool, fwd_cfg);
+  gen_fwd.attach_tx_nic(env.testbed.nic(1, 0));
+  gen_fwd.attach_rx_nic(env.testbed.nic(1, 1));
+  gen_fwd.start_tx(0, t_stop);
+
+  std::unique_ptr<traffic::MoonGen> gen_rev;
+  if (cfg.bidirectional) {
+    traffic::MoonGen::Config rev_cfg;
+    rev_cfg.frame = make_frame(cfg, true, /*first_out_idx=*/0);
+    rev_cfg.rate_pps = cfg.rate_pps;
+    rev_cfg.meter_open_at = cfg.warmup;
+    rev_cfg.origin = 2;
+    gen_rev = std::make_unique<traffic::MoonGen>(env.sim, env.pool, rev_cfg);
+    gen_rev->attach_tx_nic(env.testbed.nic(1, 1));
+    gen_rev->attach_rx_nic(env.testbed.nic(1, 0));
+    gen_rev->start_tx(0, t_stop);
+  }
+
+  env.sim.run_until(t_stop);
+  gen_fwd.rx_meter().close(t_stop);
+  if (gen_rev) gen_rev->rx_meter().close(t_stop);
+  env.sim.run();  // drain everything in flight
+
+  ScenarioResult r;
+  r.fwd = direction_result(gen_fwd.rx_meter());
+  if (gen_rev) r.rev = direction_result(gen_rev->rx_meter());
+  fill_latency(r, gen_fwd.latency());
+  r.nic_imissed =
+      env.testbed.nic(0, 0).imissed() + env.testbed.nic(0, 1).imissed();
+  // Whole-run conservation: offered onto the wire vs. delivered back.
+  r.offered_packets = gen_fwd.tx_sent();
+  r.gen_tx_failures = gen_fwd.tx_failed();
+  r.delivered_packets = env.testbed.nic(1, 1).rx_frames();
+  if (gen_rev) {
+    r.offered_packets += gen_rev->tx_sent();
+    r.gen_tx_failures += gen_rev->tx_failed();
+    r.delivered_packets += env.testbed.nic(1, 0).rx_frames();
+  }
+  for (const auto& w : workers) {
+    r.sut_wasted_work += w->stats().tx_drops;
+    r.sut_discards += w->stats().discards;
+  }
+  return r;
+}
+
+}  // namespace nfvsb::scenario

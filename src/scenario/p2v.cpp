@@ -1,0 +1,131 @@
+// p2v (physical-to-virtual): the SUT forwards between a NIC and a VNF VM
+// (Fig. 3b). Non-VALE switches expose a vhost-user port into the VM (guest
+// runs DPDK + FloWatcher as monitor, MoonGen for reverse traffic); VALE
+// uses a ptnet port with pkt-gen in the guest.
+#include <memory>
+
+#include "scenario/detail.h"
+#include "scenario/scenario.h"
+#include "traffic/flowatcher.h"
+#include "traffic/pktgen.h"
+#include "vnf/vm.h"
+
+namespace nfvsb::scenario {
+
+ScenarioResult run_p2v(const ScenarioConfig& cfg) {
+  using namespace detail;
+  Env env(cfg);
+  const bool vale = cfg.sut == switches::SwitchType::kVale;
+
+  auto sut = switches::make_switch(cfg.sut, env.sim, env.testbed.take_core(0),
+                                   "sut");
+  if (cfg.tune_sut) cfg.tune_sut(*sut);
+  sut->attach_nic(env.testbed.nic(0, 0));  // port 0
+
+  std::vector<hw::CpuCore*> vcpus;
+  for (int c = 0; c < 4; ++c) vcpus.push_back(&env.testbed.take_core(0));
+  vnf::Vm vm("vm1", std::move(vcpus));
+
+  ring::GuestPort* guest = nullptr;
+  if (vale) {
+    auto& ptnet = sut->add_ptnet_port("v0");  // port 1
+    guest = &vm.attach_ptnet(ptnet);
+  } else {
+    auto& vhost = sut->add_vhost_user_port("vhost0");  // port 1
+    guest = &vm.attach_virtio(vhost);
+  }
+
+  std::vector<WirePair> pairs;
+  const bool has_fwd = !cfg.reverse || cfg.bidirectional;
+  const bool has_rev = cfg.reverse || cfg.bidirectional;
+  if (has_fwd) pairs.push_back({0, 1});
+  if (has_rev) pairs.push_back({1, 0});
+  wire_sut(*sut, cfg.sut, pairs);
+  sut->start();
+
+  const core::SimTime t_stop = env.t_stop(cfg);
+
+  // Forward direction: NIC -> VM, monitored inside the guest.
+  std::unique_ptr<traffic::MoonGen> gen_fwd;
+  traffic::FloWatcher guest_mon(env.sim, cfg.warmup);
+  traffic::PktGen::Config pg_rx_cfg;
+  pg_rx_cfg.meter_open_at = cfg.warmup;
+  traffic::PktGen guest_pktgen_rx(env.sim, env.pool, pg_rx_cfg);
+  if (has_fwd) {
+    traffic::MoonGen::Config fwd_cfg;
+    fwd_cfg.frame = make_frame(cfg, false, /*first_out_idx=*/1);
+    fwd_cfg.rate_pps = cfg.rate_pps;
+    fwd_cfg.meter_open_at = cfg.warmup;
+    fwd_cfg.origin = 1;
+    gen_fwd = std::make_unique<traffic::MoonGen>(env.sim, env.pool, fwd_cfg);
+    gen_fwd->attach_tx_nic(env.testbed.nic(1, 0));
+    gen_fwd->start_tx(0, t_stop);
+    if (vale) {
+      guest_pktgen_rx.attach_rx(*guest);
+    } else {
+      guest_mon.attach(*guest);
+    }
+  }
+
+  // Reverse direction: VM -> NIC, monitored by MoonGen on node 1.
+  std::unique_ptr<traffic::MoonGen> gen_rev_guest;
+  std::unique_ptr<traffic::PktGen> pg_rev_guest;
+  traffic::MoonGen::Config mon_cfg;
+  mon_cfg.meter_open_at = cfg.warmup;
+  mon_cfg.origin = 9;
+  traffic::MoonGen nic_mon(env.sim, env.pool, mon_cfg);
+  if (has_rev) {
+    nic_mon.attach_rx_nic(env.testbed.nic(1, 0));
+    const auto frame = make_frame(cfg, true, /*first_out_idx=*/0);
+    if (vale) {
+      traffic::PktGen::Config pg_cfg;
+      pg_cfg.frame = frame;
+      pg_cfg.rate_pps = cfg.rate_pps;
+      pg_cfg.meter_open_at = cfg.warmup;
+      pg_cfg.origin = 2;
+      pg_rev_guest =
+          std::make_unique<traffic::PktGen>(env.sim, env.pool, pg_cfg);
+      pg_rev_guest->attach_tx(*guest);
+      pg_rev_guest->start_tx(0, t_stop);
+    } else {
+      traffic::MoonGen::Config g_cfg;
+      g_cfg.frame = frame;
+      g_cfg.rate_pps = cfg.rate_pps;
+      g_cfg.meter_open_at = cfg.warmup;
+      g_cfg.origin = 2;
+      gen_rev_guest =
+          std::make_unique<traffic::MoonGen>(env.sim, env.pool, g_cfg);
+      // In-VM MoonGen paces to the 10 GbE equivalent of the frame size.
+      gen_rev_guest->attach_tx_guest(
+          *guest, core::kTenGigE.line_rate_pps(cfg.frame_bytes));
+      gen_rev_guest->start_tx(0, t_stop);
+    }
+  }
+
+  env.sim.run_until(t_stop);
+  if (vale) {
+    guest_pktgen_rx.rx_meter().close(t_stop);
+  } else {
+    guest_mon.rx_meter().close(t_stop);
+  }
+  nic_mon.rx_meter().close(t_stop);
+  env.sim.run();
+
+  ScenarioResult r;
+  if (has_fwd) {
+    r.fwd = direction_result(vale ? guest_pktgen_rx.rx_meter()
+                                  : guest_mon.rx_meter());
+  }
+  if (has_rev) r.rev = direction_result(nic_mon.rx_meter());
+  if (cfg.reverse && !cfg.bidirectional) {
+    // Present the reversed unidirectional run in fwd for convenience.
+    r.fwd = r.rev;
+    r.rev = DirectionResult{};
+  }
+  r.nic_imissed = env.testbed.nic(0, 0).imissed();
+  r.sut_wasted_work = sut->stats().tx_drops;
+  r.sut_discards = sut->stats().discards;
+  return r;
+}
+
+}  // namespace nfvsb::scenario

@@ -1,0 +1,33 @@
+// Plain-text table rendering for the bench harness, shaped like the
+// paper's figures/tables (one row per switch, one column per condition).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nfvsb::scenario {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with aligned columns (first column left, rest right).
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "%.2f"-style helper.
+std::string fmt(double v, int decimals = 2);
+
+/// Gbps or "-" when skipped.
+std::string fmt_or_dash(double v, bool skipped, int decimals = 2);
+
+}  // namespace nfvsb::scenario

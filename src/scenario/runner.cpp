@@ -1,0 +1,39 @@
+#include "scenario/runner.h"
+
+namespace nfvsb::scenario {
+
+double measure_r_plus_mpps(ScenarioConfig cfg) {
+  cfg.rate_pps = 0;  // saturate
+  cfg.probe_interval = 0;
+  cfg.bidirectional = false;
+  const ScenarioResult r = run_scenario(cfg);
+  if (r.skipped) return 0.0;
+  return r.fwd.mpps;
+}
+
+LatencySweep latency_sweep(ScenarioConfig cfg,
+                           const std::vector<double>& loads,
+                           core::SimDuration probe_interval) {
+  LatencySweep sweep;
+  sweep.r_plus_mpps = measure_r_plus_mpps(cfg);
+  if (sweep.r_plus_mpps <= 0.0) {
+    ScenarioConfig probe_cfg = cfg;
+    const ScenarioResult r = run_scenario(probe_cfg);
+    sweep.skipped =
+        r.skipped ? r.skipped : std::optional<std::string>("R+ was zero");
+    return sweep;
+  }
+  for (double load : loads) {
+    ScenarioConfig point_cfg = cfg;
+    point_cfg.rate_pps = load * sweep.r_plus_mpps * 1e6;
+    point_cfg.probe_interval = probe_interval;
+    LatencyPoint p;
+    p.load = load;
+    p.rate_mpps = point_cfg.rate_pps / 1e6;
+    p.result = run_scenario(point_cfg);
+    sweep.points.push_back(std::move(p));
+  }
+  return sweep;
+}
+
+}  // namespace nfvsb::scenario

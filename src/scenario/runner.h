@@ -1,0 +1,39 @@
+// Measurement methodology driver (Sec. 5.3).
+//
+// R+ (Maximal Forwarding Rate) is defined as in the paper — the AVERAGE
+// throughput achieved under saturating input (not an RFC 2544 NDR binary
+// search, which the authors argue is unreliable for software switches).
+// Latency is then measured at 0.10/0.50/0.99 x R+ with PTP probes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace nfvsb::scenario {
+
+inline constexpr std::array<double, 3> kPaperLoads = {0.10, 0.50, 0.99};
+
+struct LatencyPoint {
+  double load{0};        ///< fraction of R+
+  double rate_mpps{0};   ///< offered rate
+  ScenarioResult result;
+};
+
+struct LatencySweep {
+  double r_plus_mpps{0};  ///< measured under saturation
+  std::vector<LatencyPoint> points;
+  /// Set when the underlying scenario cannot be built (e.g. BESS > 3 VNFs).
+  std::optional<std::string> skipped;
+};
+
+/// Measure R+ for `cfg` (forces saturating unidirectional input, no probes).
+double measure_r_plus_mpps(ScenarioConfig cfg);
+
+/// Full Table-3-style sweep: R+ then latency at each load fraction.
+LatencySweep latency_sweep(ScenarioConfig cfg,
+                           const std::vector<double>& loads,
+                           core::SimDuration probe_interval = core::from_us(40));
+
+}  // namespace nfvsb::scenario

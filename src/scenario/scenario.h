@@ -1,0 +1,114 @@
+// The paper's four test scenarios (Sec. 4): p2p, p2v, v2v, loopback.
+//
+// Each run builds a fresh simulated testbed (Fig. 3), deploys the SUT on a
+// single isolated NUMA-0 core, wires the scenario's data path with the
+// switch-specific configuration interface (ovs-ofctl / VPP CLI / Click
+// config / bess script / config.app / vale-ctl / P4 tables), generates
+// traffic from NUMA node 1 (or inside VMs), and reports throughput in the
+// paper's wire-occupancy Gbps plus PTP-probe latency statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "core/time.h"
+#include "switches/registry.h"
+
+namespace nfvsb::scenario {
+
+enum class Kind : std::uint8_t { kP2p, kP2v, kV2v, kLoopback };
+
+const char* to_string(Kind k);
+
+struct ScenarioConfig {
+  Kind kind{Kind::kP2p};
+  switches::SwitchType sut{switches::SwitchType::kVpp};
+  std::uint32_t frame_bytes{64};
+  bool bidirectional{false};
+  /// loopback only: number of chained VNF VMs (1..5).
+  int chain_length{1};
+  /// p2v only: send VM -> NIC instead of NIC -> VM (the paper's "reversed"
+  /// probe that exposed VPP's vhost RX penalty).
+  bool reverse{false};
+  /// Offered rate per direction in pps; 0 = saturate.
+  double rate_pps{0};
+  /// Distinct flows in the generated traffic (1 = paper's single flow).
+  std::uint32_t num_flows{1};
+  /// p2p only: data-plane workers, each pinned to its own core and serving
+  /// its own RSS queue pair (1 = the paper's single-core rule; >1 explores
+  /// the multi-core future work of Sec. 6 — see bench/ablation_multicore).
+  int sut_workers{1};
+  /// Inject latency probes this often (0 = throughput-only run).
+  core::SimDuration probe_interval{0};
+  /// Ablation hook: invoked on every SUT instance right after
+  /// construction (before wiring/start) — mutate the cost model, tables,
+  /// etc. Used by bench/ablation_*.
+  std::function<void(switches::SwitchBase&)> tune_sut;
+
+  /// Override the NIC descriptor ring depth (0 = per-switch default).
+  std::size_t nic_ring_depth{0};
+
+  /// l2fwd VNF TX drain timeout (loopback); 0 = DPDK's 100 us default.
+  core::SimDuration l2fwd_drain{0};
+
+  /// loopback: host the VNFs in containers instead of VMs (the paper's
+  /// future work; virtio-user crossings are cheaper than vhost+QEMU ones).
+  bool containers{false};
+
+  /// Meters and probes open after the warm-up (JIT traces, caches, ARP).
+  core::SimDuration warmup{core::from_ms(10)};
+  /// Measurement window length.
+  core::SimDuration measure{core::from_ms(25)};
+  std::uint64_t seed{0x5eed};
+};
+
+struct DirectionResult {
+  double gbps{0};
+  double mpps{0};
+  std::uint64_t rx_packets{0};
+};
+
+struct ScenarioResult {
+  /// Set when the configuration cannot be built (e.g. BESS with > 3 VMs,
+  /// the paper's footnote 5). No measurements in that case.
+  std::optional<std::string> skipped;
+
+  DirectionResult fwd;
+  DirectionResult rev;
+  [[nodiscard]] double gbps_total() const { return fwd.gbps + rev.gbps; }
+  [[nodiscard]] double mpps_total() const { return fwd.mpps + rev.mpps; }
+
+  // Latency over the forward direction's probes, in microseconds.
+  std::uint64_t lat_samples{0};
+  double lat_avg_us{0};
+  double lat_std_us{0};
+  double lat_median_us{0};
+  double lat_p99_us{0};
+  double lat_min_us{0};
+  double lat_max_us{0};
+
+  // Loss accounting (where packets died).
+  std::uint64_t nic_imissed{0};    ///< NIC RX ring overflow
+  std::uint64_t sut_wasted_work{0};///< processed then dropped at full ring
+  std::uint64_t sut_discards{0};   ///< datapath decisions (no route etc.)
+
+  // Whole-run conservation bookkeeping (p2p fills these; counts cover the
+  // ENTIRE run, not just the measurement window): every offered packet is
+  // either delivered back or accounted to a specific loss site.
+  std::uint64_t offered_packets{0};    ///< generator frames onto the wire
+  std::uint64_t delivered_packets{0};  ///< frames back at the monitor NICs
+  std::uint64_t gen_tx_failures{0};    ///< generator-side TX ring drops
+};
+
+/// Build and run one scenario to completion. Deterministic per config+seed.
+ScenarioResult run_scenario(const ScenarioConfig& cfg);
+
+// Per-scenario entry points (dispatched by run_scenario).
+ScenarioResult run_p2p(const ScenarioConfig& cfg);
+ScenarioResult run_p2v(const ScenarioConfig& cfg);
+ScenarioResult run_v2v(const ScenarioConfig& cfg);
+ScenarioResult run_loopback(const ScenarioConfig& cfg);
+
+}  // namespace nfvsb::scenario

@@ -1,0 +1,241 @@
+// v2v (virtual-to-virtual): the SUT steers traffic between two VNF VMs
+// (Fig. 3c). Throughput mode gives each VM one virtual interface (VM1
+// generates, VM2 monitors; bidirectional adds the mirror pair). Latency
+// mode replicates Table 4's setup: two interfaces per VM, software
+// timestamps, VM2 bouncing packets back through the SUT with l2fwd (a
+// guest VALE instance for VALE, whose RTT the paper measured with ping).
+#include <memory>
+
+#include "scenario/detail.h"
+#include "scenario/scenario.h"
+#include "traffic/flowatcher.h"
+#include "traffic/pktgen.h"
+#include "vnf/l2fwd.h"
+#include "vnf/vm.h"
+
+namespace nfvsb::scenario {
+namespace {
+
+using detail::Env;
+using detail::WirePair;
+
+ScenarioResult run_v2v_throughput(const ScenarioConfig& cfg, Env& env,
+                                  switches::SwitchBase& sut, bool vale) {
+  using namespace detail;
+  std::vector<hw::CpuCore*> vc1, vc2;
+  for (int c = 0; c < 4; ++c) vc1.push_back(&env.testbed.take_core(0));
+  for (int c = 0; c < 4; ++c) vc2.push_back(&env.testbed.take_core(0));
+  vnf::Vm vm1("vm1", std::move(vc1));
+  vnf::Vm vm2("vm2", std::move(vc2));
+
+  ring::GuestPort* g1 = nullptr;
+  ring::GuestPort* g2 = nullptr;
+  if (vale) {
+    auto& p1 = sut.add_ptnet_port("v0");  // port 0
+    auto& p2 = sut.add_ptnet_port("v1");  // port 1
+    g1 = &vm1.attach_ptnet(p1);
+    g2 = &vm2.attach_ptnet(p2);
+  } else {
+    auto& p1 = sut.add_vhost_user_port("vhost0");
+    auto& p2 = sut.add_vhost_user_port("vhost1");
+    g1 = &vm1.attach_virtio(p1);
+    g2 = &vm2.attach_virtio(p2);
+  }
+
+  std::vector<WirePair> pairs{{0, 1}};
+  if (cfg.bidirectional) pairs.push_back({1, 0});
+  wire_sut(sut, cfg.sut, pairs);
+  sut.start();
+
+  const core::SimTime t_stop = env.t_stop(cfg);
+  const double vm_line_pps = core::kTenGigE.line_rate_pps(cfg.frame_bytes);
+
+  // Generators and monitors per direction.
+  std::unique_ptr<traffic::MoonGen> mg_fwd, mg_rev;
+  std::unique_ptr<traffic::PktGen> pg_fwd, pg_rev;
+  traffic::FloWatcher mon_fwd(env.sim, cfg.warmup);
+  traffic::FloWatcher mon_rev(env.sim, cfg.warmup);
+  traffic::PktGen::Config pg_mon_cfg;
+  pg_mon_cfg.meter_open_at = cfg.warmup;
+  traffic::PktGen pg_mon_fwd(env.sim, env.pool, pg_mon_cfg);
+  traffic::PktGen pg_mon_rev(env.sim, env.pool, pg_mon_cfg);
+
+  if (vale) {
+    traffic::PktGen::Config c1;
+    c1.frame = make_frame(cfg, false, 1);
+    c1.rate_pps = cfg.rate_pps;
+    c1.meter_open_at = cfg.warmup;
+    c1.origin = 1;
+    pg_fwd = std::make_unique<traffic::PktGen>(env.sim, env.pool, c1);
+    pg_fwd->attach_tx(*g1);
+    pg_fwd->start_tx(0, t_stop);
+    pg_mon_fwd.attach_rx(*g2);
+    if (cfg.bidirectional) {
+      traffic::PktGen::Config c2 = c1;
+      c2.frame = make_frame(cfg, true, 0);
+      c2.origin = 2;
+      pg_rev = std::make_unique<traffic::PktGen>(env.sim, env.pool, c2);
+      pg_rev->attach_tx(*g2);
+      pg_rev->start_tx(0, t_stop);
+      pg_mon_rev.attach_rx(*g1);
+    }
+  } else {
+    traffic::MoonGen::Config c1;
+    c1.frame = make_frame(cfg, false, 1);
+    c1.rate_pps = cfg.rate_pps;
+    c1.meter_open_at = cfg.warmup;
+    c1.origin = 1;
+    mg_fwd = std::make_unique<traffic::MoonGen>(env.sim, env.pool, c1);
+    mg_fwd->attach_tx_guest(*g1, vm_line_pps);
+    mg_fwd->start_tx(0, t_stop);
+    mon_fwd.attach(*g2);
+    if (cfg.bidirectional) {
+      traffic::MoonGen::Config c2 = c1;
+      c2.frame = make_frame(cfg, true, 0);
+      c2.origin = 2;
+      mg_rev = std::make_unique<traffic::MoonGen>(env.sim, env.pool, c2);
+      mg_rev->attach_tx_guest(*g2, vm_line_pps);
+      mg_rev->start_tx(0, t_stop);
+      mon_rev.attach(*g1);
+    }
+  }
+
+  env.sim.run_until(t_stop);
+  mon_fwd.rx_meter().close(t_stop);
+  mon_rev.rx_meter().close(t_stop);
+  pg_mon_fwd.rx_meter().close(t_stop);
+  pg_mon_rev.rx_meter().close(t_stop);
+  env.sim.run();
+
+  ScenarioResult r;
+  r.fwd = detail::direction_result(vale ? pg_mon_fwd.rx_meter()
+                                        : mon_fwd.rx_meter());
+  if (cfg.bidirectional) {
+    r.rev = detail::direction_result(vale ? pg_mon_rev.rx_meter()
+                                          : mon_rev.rx_meter());
+  }
+  r.sut_wasted_work = sut.stats().tx_drops;
+  r.sut_discards = sut.stats().discards;
+  return r;
+}
+
+ScenarioResult run_v2v_latency(const ScenarioConfig& cfg, Env& env,
+                               switches::SwitchBase& sut, bool vale) {
+  using namespace detail;
+  std::vector<hw::CpuCore*> vc1, vc2;
+  for (int c = 0; c < 4; ++c) vc1.push_back(&env.testbed.take_core(0));
+  for (int c = 0; c < 4; ++c) vc2.push_back(&env.testbed.take_core(0));
+  vnf::Vm vm1("vm1", std::move(vc1));
+  vnf::Vm vm2("vm2", std::move(vc2));
+
+  // Two interfaces per VM (Table 4 setup). Ports: 0,1 = VM1; 2,3 = VM2.
+  ring::GuestPort* vm1_tx = nullptr;
+  ring::GuestPort* vm1_rx = nullptr;
+  std::unique_ptr<vnf::L2Fwd> bounce;
+
+  if (vale) {
+    // The paper measures VALE's v2v RTT with plain ping: one interface per
+    // VM, the guest kernel ICMP stack echoing replies, the VALE switch
+    // learning/flooding MACs. Ports: 0 = VM1, 1 = VM2.
+    auto& a = sut.add_ptnet_port("vm1.eth0");
+    auto& b = sut.add_ptnet_port("vm2.eth0");
+    vm1_tx = &vm1.attach_ptnet(a);
+    vm1_rx = vm1_tx;  // replies come back on the same interface
+    auto& vm2_port = vm2.attach_ptnet(b);
+    // ICMP echo reflector: guest kernel receives, swaps MACs, replies
+    // after the stack traversal latency (~11 us rx+icmp+tx on the vcpu).
+    vm2_port.rx_ring().set_sink([&env, &vm2_port](pkt::PacketHandle p) {
+      auto held = std::make_shared<pkt::PacketHandle>(std::move(p));
+      env.sim.schedule_in(core::from_us(11), [held, &vm2_port] {
+        pkt::EthHeader eth((*held)->bytes());
+        if (eth.valid()) {
+          const auto src = eth.src();
+          const auto dst = eth.dst();
+          eth.set_src(dst);
+          eth.set_dst(src);
+        }
+        vm2_port.tx(std::move(*held));
+      });
+    });
+  } else {
+    auto& a = sut.add_vhost_user_port("vm1.a");
+    auto& b = sut.add_vhost_user_port("vm1.b");
+    auto& c = sut.add_vhost_user_port("vm2.a");
+    auto& d = sut.add_vhost_user_port("vm2.b");
+    vm1_tx = &vm1.attach_virtio(a);
+    vm1_rx = &vm1.attach_virtio(b);
+    bounce = std::make_unique<vnf::L2Fwd>(env.sim, vm2.vcpu(0), "vm2:l2fwd");
+    bounce->bind_virtio_pair(c, d);
+    // Returning packets must address SUT egress port 1 (t4p4s table key).
+    bounce->set_dst_mac_rewrite(1, detail::dst_mac_for_port(1));
+  }
+
+  // SUT wiring: VM1.a -> VM2.a (ports 0 -> 2); VM2.b -> VM1.b (3 -> 1).
+  // (VALE needs none: L2 learning + flooding handles the echo path.)
+  if (!vale) wire_sut(sut, cfg.sut, {{0, 2}, {3, 1}});
+  sut.start();
+  if (bounce) bounce->start();
+
+  const core::SimTime t_stop = env.t_stop(cfg);
+  const double vm_line_pps = core::kTenGigE.line_rate_pps(cfg.frame_bytes);
+
+  // Table 4: 1 Mpps probe-carrying stream, software timestamps. For VALE
+  // the paper used ping; pkt-gen probes at low rate approximate it.
+  std::unique_ptr<traffic::MoonGen> mg;
+  std::unique_ptr<traffic::PktGen> pg;
+  if (vale) {
+    traffic::PktGen::Config c;
+    c.frame = make_frame(cfg, false, 1);
+    c.rate_pps = 1e4;  // ping cadence (low-rate echo stream)
+    c.probe_interval = cfg.probe_interval;
+    c.meter_open_at = cfg.warmup;
+    pg = std::make_unique<traffic::PktGen>(env.sim, env.pool, c);
+    pg->attach_tx(*vm1_tx);
+    pg->attach_rx(*vm1_rx);
+    pg->start_tx(0, t_stop);
+  } else {
+    traffic::MoonGen::Config c;
+    c.frame = make_frame(cfg, false, 2);
+    c.rate_pps = cfg.rate_pps > 0 ? cfg.rate_pps : 1e6;  // paper: 1 Mpps
+    c.probe_interval = cfg.probe_interval;
+    c.software_timestamps = true;
+    c.meter_open_at = cfg.warmup;
+    mg = std::make_unique<traffic::MoonGen>(env.sim, env.pool, c);
+    mg->attach_tx_guest(*vm1_tx, vm_line_pps);
+    mg->attach_rx_guest(*vm1_rx);
+    mg->start_tx(0, t_stop);
+  }
+
+  env.sim.run_until(t_stop);
+  if (mg) mg->rx_meter().close(t_stop);
+  if (pg) pg->rx_meter().close(t_stop);
+  env.sim.run();
+
+  ScenarioResult r;
+  if (mg) {
+    r.fwd = detail::direction_result(mg->rx_meter());
+    detail::fill_latency(r, mg->latency());
+  } else {
+    r.fwd = detail::direction_result(pg->rx_meter());
+    detail::fill_latency(r, pg->latency());
+  }
+  r.sut_wasted_work = sut.stats().tx_drops;
+  r.sut_discards = sut.stats().discards;
+  return r;
+}
+
+}  // namespace
+
+ScenarioResult run_v2v(const ScenarioConfig& cfg) {
+  detail::Env env(cfg);
+  const bool vale = cfg.sut == switches::SwitchType::kVale;
+  auto sut = switches::make_switch(cfg.sut, env.sim, env.testbed.take_core(0),
+                                   "sut");
+  if (cfg.tune_sut) cfg.tune_sut(*sut);
+  if (cfg.probe_interval > 0) {
+    return run_v2v_latency(cfg, env, *sut, vale);
+  }
+  return run_v2v_throughput(cfg, env, *sut, vale);
+}
+
+}  // namespace nfvsb::scenario

@@ -1,0 +1,61 @@
+// Streaming mean/variance/min/max (Welford). Header-only.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace nfvsb::stats {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(n_), on = static_cast<double>(o.n_);
+    const double tot = n + on;
+    m2_ += o.m2_ + delta * delta * n * on / tot;
+    mean_ = (n * mean_ + on * o.mean_) / tot;
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{std::numeric_limits<double>::infinity()};
+  double max_{-std::numeric_limits<double>::infinity()};
+};
+
+}  // namespace nfvsb::stats

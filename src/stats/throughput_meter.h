@@ -1,0 +1,66 @@
+// Receive-side throughput meter, mirroring what FloWatcher-DPDK / MoonGen RX
+// report: packets and wire-bytes over a measurement window, with an optional
+// warm-up period that is excluded (JIT warm-up, ARP, ring fill).
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace nfvsb::stats {
+
+class ThroughputMeter {
+ public:
+  /// Counting starts at `open_at` (earlier packets are ignored) and the
+  /// reported rate uses the [open_at, close_at] window set by close().
+  explicit ThroughputMeter(core::SimTime open_at = 0) : open_at_(open_at) {}
+
+  void on_packet(core::SimTime now, std::uint32_t frame_bytes) {
+    if (now < open_at_) return;
+    if (close_at_ > 0 && now > close_at_) return;
+    ++packets_;
+    wire_bytes_ += frame_bytes + core::kWireOverheadBytes;
+    last_seen_ = now;
+  }
+
+  /// Freeze the window at `now` for rate computation.
+  void close(core::SimTime now) { close_at_ = now; }
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+
+  [[nodiscard]] double pps() const {
+    const auto window = window_duration();
+    if (window <= 0) return 0.0;
+    return static_cast<double>(packets_) / core::to_sec(window);
+  }
+
+  /// Wire-occupancy Gbps (paper convention: +20 B per frame).
+  [[nodiscard]] double gbps() const {
+    const auto window = window_duration();
+    if (window <= 0) return 0.0;
+    return static_cast<double>(wire_bytes_) * 8.0 / core::to_sec(window) / 1e9;
+  }
+
+  void reset(core::SimTime open_at) {
+    packets_ = 0;
+    wire_bytes_ = 0;
+    open_at_ = open_at;
+    close_at_ = 0;
+    last_seen_ = 0;
+  }
+
+ private:
+  [[nodiscard]] core::SimDuration window_duration() const {
+    const core::SimTime end = close_at_ > 0 ? close_at_ : last_seen_;
+    return end - open_at_;
+  }
+
+  std::uint64_t packets_{0};
+  std::uint64_t wire_bytes_{0};
+  core::SimTime open_at_{0};
+  core::SimTime close_at_{0};
+  core::SimTime last_seen_{0};
+};
+
+}  // namespace nfvsb::stats

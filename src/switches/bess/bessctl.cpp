@@ -1,0 +1,183 @@
+#include "switches/bess/bessctl.h"
+
+#include <cctype>
+#include <charconv>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+namespace nfvsb::switches::bess {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::size_t to_index(const std::string& v, const std::string& what) {
+  std::size_t out = 0;
+  auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size()) {
+    throw std::invalid_argument("bessctl: bad " + what + ": " + v);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> BessCtl::parse_kwargs(
+    const std::string& args) {
+  std::map<std::string, std::string> kw;
+  int depth = 0;
+  std::string cur;
+  std::vector<std::string> items;
+  for (char ch : args) {
+    if (ch == '(' || ch == '[') ++depth;
+    if (ch == ')' || ch == ']') --depth;
+    if (ch == ',' && depth == 0) {
+      items.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!trim(cur).empty()) items.push_back(cur);
+  for (const auto& item : items) {
+    const auto eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("bessctl: expected key=value: " + item);
+    }
+    std::string key = trim(item.substr(0, eq));
+    std::string val = trim(item.substr(eq + 1));
+    if (val.size() >= 2 && val.front() == '"' && val.back() == '"') {
+      val = val.substr(1, val.size() - 2);
+    }
+    kw[key] = val;
+  }
+  return kw;
+}
+
+void BessCtl::run_script(const std::string& script) {
+  std::istringstream in(script);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (!line.empty()) run(line);
+  }
+}
+
+void BessCtl::run(const std::string& statement) {
+  const std::string stmt = trim(statement);
+
+  // Connection: "a -> b" or "a:2 -> b" (ogate selector), no '::' present.
+  const auto decl_pos = stmt.find("::");
+  if (decl_pos == std::string::npos) {
+    const auto arrow = stmt.find("->");
+    if (arrow == std::string::npos) {
+      throw std::invalid_argument("bessctl: unrecognized statement: " + stmt);
+    }
+    std::string a = trim(stmt.substr(0, arrow));
+    const std::string b = trim(stmt.substr(arrow + 2));
+    std::size_t ogate = 0;
+    if (const auto colon = a.rfind(':'); colon != std::string::npos) {
+      ogate = to_index(trim(a.substr(colon + 1)), "ogate");
+      a = trim(a.substr(0, colon));
+    }
+    Module* ma = sw_.pipeline().find(a);
+    Module* mb = sw_.pipeline().find(b);
+    if (ma == nullptr || mb == nullptr) {
+      throw std::invalid_argument("bessctl: unknown module in: " + stmt);
+    }
+    ma->connect(*mb, ogate);
+    if (auto* inc = dynamic_cast<QueueInc*>(ma)) {
+      sw_.pipeline().register_input(inc->port(), *inc);
+    }
+    return;
+  }
+
+  // Declaration: name::Class(args)
+  const std::string name = trim(stmt.substr(0, decl_pos));
+  std::string rhs = trim(stmt.substr(decl_pos + 2));
+  const auto paren = rhs.find('(');
+  if (paren == std::string::npos || rhs.back() != ')') {
+    throw std::invalid_argument("bessctl: expected Class(...): " + rhs);
+  }
+  const std::string cls = trim(rhs.substr(0, paren));
+  const auto kw = parse_kwargs(rhs.substr(paren + 1, rhs.size() - paren - 2));
+
+  if (cls == "PMDPort") {
+    if (pmd_ports_.contains(name)) {
+      throw std::invalid_argument("bessctl: PMDPort exists: " + name);
+    }
+    if (const auto it = kw.find("port_id"); it != kw.end()) {
+      pmd_ports_[name] = PmdPort{to_index(it->second, "port_id"), nullptr};
+      return;
+    }
+    if (kw.contains("vdev")) {
+      const std::size_t idx = sw_.num_ports();
+      auto& vp = sw_.add_vhost_user_port(name);
+      pmd_ports_[name] = PmdPort{idx, &vp};
+      return;
+    }
+    throw std::invalid_argument("bessctl: PMDPort needs port_id or vdev");
+  }
+
+  const auto resolve_port = [&](const std::string& key) -> std::size_t {
+    const auto it = kw.find(key);
+    if (it == kw.end()) {
+      throw std::invalid_argument("bessctl: " + cls + " needs " + key + "=");
+    }
+    const auto pit = pmd_ports_.find(it->second);
+    if (pit == pmd_ports_.end()) {
+      throw std::invalid_argument("bessctl: unknown PMDPort: " + it->second);
+    }
+    return pit->second.index;
+  };
+
+  if (cls == "QueueInc" || cls == "PortInc") {
+    auto m = std::make_unique<QueueInc>(name, resolve_port("port"));
+    sw_.pipeline().add(std::move(m));
+    return;
+  }
+  if (cls == "QueueOut" || cls == "PortOut") {
+    auto m = std::make_unique<QueueOut>(name, resolve_port("port"));
+    sw_.pipeline().add(std::move(m));
+    return;
+  }
+  if (cls == "Sink") {
+    sw_.pipeline().add(std::make_unique<Sink>(name));
+    return;
+  }
+  if (cls == "MACSwap") {
+    sw_.pipeline().add(std::make_unique<MACSwap>(name));
+    return;
+  }
+  if (cls == "Measure") {
+    sw_.pipeline().add(std::make_unique<Measure>(name));
+    return;
+  }
+  if (cls == "RandomSplit") {
+    const auto it = kw.find("gates");
+    if (it == kw.end()) {
+      throw std::invalid_argument("bessctl: RandomSplit needs gates=");
+    }
+    sw_.pipeline().add(std::make_unique<RandomSplit>(
+        name, to_index(it->second, "gates"), sw_.split_rng()));
+    return;
+  }
+  throw std::invalid_argument("bessctl: unknown module class: " + cls);
+}
+
+ring::VhostUserPort& BessCtl::vhost_port(const std::string& pmd_name) {
+  const auto it = pmd_ports_.find(pmd_name);
+  if (it == pmd_ports_.end() || it->second.vhost == nullptr) {
+    throw std::invalid_argument("bessctl: not a vdev PMDPort: " + pmd_name);
+  }
+  return *it->second.vhost;
+}
+
+}  // namespace nfvsb::switches::bess

@@ -1,0 +1,47 @@
+// bessctl-style script interface, so scenarios read like the paper's
+// appendix A.1:
+//
+//   inport::PMDPort(port_id=0)
+//   outport::PMDPort(port_id=1)
+//   in0::QueueInc(port=inport, qid=0)
+//   out0::QueueOut(port=outport, qid=0)
+//   in0 -> out0
+//
+// PMDPort with port_id=N binds to the switch's already-attached port N;
+// PMDPort with vdev="..." creates a new vhost-user port on the switch.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ring/vhost_user_port.h"
+#include "switches/bess/bess_switch.h"
+
+namespace nfvsb::switches::bess {
+
+class BessCtl {
+ public:
+  explicit BessCtl(BessSwitch& sw) : sw_(sw) {}
+
+  /// Run a whole script (newline-separated statements, '#' comments).
+  void run_script(const std::string& script);
+
+  /// Run one statement; throws std::invalid_argument on errors.
+  void run(const std::string& statement);
+
+  /// The vhost-user port created for a PMDPort vdev declaration.
+  [[nodiscard]] ring::VhostUserPort& vhost_port(const std::string& pmd_name);
+
+ private:
+  struct PmdPort {
+    std::size_t index;                       ///< switch port index
+    ring::VhostUserPort* vhost{nullptr};     ///< when vdev-backed
+  };
+
+  std::map<std::string, std::string> parse_kwargs(const std::string& args);
+
+  BessSwitch& sw_;
+  std::map<std::string, PmdPort> pmd_ports_;
+};
+
+}  // namespace nfvsb::switches::bess

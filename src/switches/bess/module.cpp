@@ -1,0 +1,44 @@
+#include "switches/bess/module.h"
+
+namespace nfvsb::switches::bess {
+
+Module& Pipeline::add(std::unique_ptr<Module> m) {
+  modules_.push_back(std::move(m));
+  return *modules_.back();
+}
+
+Module* Pipeline::find(const std::string& name) {
+  for (auto& m : modules_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+std::string Pipeline::show() const {
+  std::string out;
+  for (const auto& m : modules_) {
+    out += m->name();
+    out += "::";
+    out += m->class_name();
+    for (std::size_t g = 0; g < m->nogates(); ++g) {
+      const Module* to = m->next(g);
+      if (to == nullptr) continue;
+      out += "\n  :" + std::to_string(g) + " -> " + to->name();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void Pipeline::register_input(std::size_t port, Module& entry) {
+  inputs_.emplace_back(port, &entry);
+}
+
+Module* Pipeline::input_for(std::size_t port) {
+  for (auto& [p, m] : inputs_) {
+    if (p == port) return m;
+  }
+  return nullptr;
+}
+
+}  // namespace nfvsb::switches::bess

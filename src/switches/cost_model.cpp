@@ -1,0 +1,16 @@
+#include "switches/cost_model.h"
+
+namespace nfvsb::switches {
+
+double CostModel::sample_round_ns(double nominal_ns, core::Rng& rng) const {
+  double actual = nominal_ns;
+  if (jitter_cv > 0.0 && nominal_ns > 0.0) {
+    actual = rng.lognormal_mean_cv(nominal_ns, jitter_cv);
+  }
+  if (stall_prob > 0.0 && rng.chance(stall_prob)) {
+    actual += rng.exponential(stall_mean_us * 1000.0);
+  }
+  return actual;
+}
+
+}  // namespace nfvsb::switches

@@ -1,0 +1,48 @@
+// Parser for the Click configuration language subset used in the paper and
+// examples:
+//
+//   FromDPDKDevice(0) -> ToDPDKDevice(1);
+//   c :: Counter;
+//   FromDPDKDevice(0) -> EtherMirror() -> c -> ToDPDKDevice(1);
+//
+// Grammar: statements separated by ';'. A statement is either a declaration
+//   name :: ClassName(args)
+// or a connection chain of expressions joined by '->', where an expression
+// is a declared name or an anonymous instantiation ClassName(args), each
+// optionally suffixed with an OUTPUT port selector as in Click:
+//   c :: Classifier(12/0800, -);
+//   FromDPDKDevice(0) -> c;
+//   c[0] -> ToDPDKDevice(1);   // IPv4
+//   c[1] -> Discard();         // everything else
+// Comments (// to end of line) are stripped.
+#pragma once
+
+#include <string>
+
+#include "switches/fastclick/element.h"
+
+namespace nfvsb::switches::fastclick {
+
+class ConfigParser {
+ public:
+  explicit ConfigParser(Router& router) : router_(router) {}
+
+  /// Parse `config` and build elements/connections into the router.
+  /// Throws std::invalid_argument with a useful message on errors.
+  void parse(const std::string& config);
+
+ private:
+  struct Endpoint {
+    Element* element;
+    std::size_t out_port;
+  };
+
+  Element& make_element(const std::string& class_name,
+                        const std::string& args, const std::string& name);
+  Endpoint resolve(const std::string& expr);
+
+  Router& router_;
+  int anon_counter_{0};
+};
+
+}  // namespace nfvsb::switches::fastclick

@@ -1,0 +1,48 @@
+#include "switches/fastclick/element.h"
+
+namespace nfvsb::switches::fastclick {
+
+Element& Router::add(std::unique_ptr<Element> e) {
+  elements_.push_back(std::move(e));
+  return *elements_.back();
+}
+
+Element* Router::find(const std::string& name) {
+  for (auto& e : elements_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+std::string Router::unparse() const {
+  std::string out;
+  for (const auto& e : elements_) {
+    out += e->name();
+    out += " :: ";
+    out += e->class_name();
+    out += ";\n";
+  }
+  for (const auto& e : elements_) {
+    for (std::size_t port = 0; port < e->noutputs(); ++port) {
+      const Element* to = e->next(port);
+      if (to == nullptr) continue;
+      out += e->name();
+      if (e->noutputs() > 1) out += "[" + std::to_string(port) + "]";
+      out += " -> " + to->name() + ";\n";
+    }
+  }
+  return out;
+}
+
+void Router::register_input(std::size_t device, Element& entry) {
+  inputs_.emplace_back(device, &entry);
+}
+
+Element* Router::input_for(std::size_t device) {
+  for (auto& [dev, el] : inputs_) {
+    if (dev == device) return el;
+  }
+  return nullptr;
+}
+
+}  // namespace nfvsb::switches::fastclick

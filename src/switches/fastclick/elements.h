@@ -1,0 +1,126 @@
+// Built-in FastClick elements used by the paper's configuration
+// (FromDPDKDevice(0) -> ToDPDKDevice(1)) and by the richer examples.
+#pragma once
+
+#include "switches/fastclick/element.h"
+
+namespace nfvsb::switches::fastclick {
+
+/// Entry element bound to a switch port ("device").
+class FromDPDKDevice final : public Element {
+ public:
+  FromDPDKDevice(std::string name, std::size_t device)
+      : Element(std::move(name), 30, 4.0), device_(device) {}
+  [[nodiscard]] const char* class_name() const override {
+    return "FromDPDKDevice";
+  }
+  [[nodiscard]] std::size_t device() const { return device_; }
+
+  void push(PushContext& ctx, Batch batch) override {
+    charge(ctx, batch.size());
+    push_next(ctx, std::move(batch));
+  }
+
+ private:
+  std::size_t device_;
+};
+
+/// Terminal element: emits the batch on a switch port.
+class ToDPDKDevice final : public Element {
+ public:
+  ToDPDKDevice(std::string name, std::size_t device)
+      : Element(std::move(name), 25, 3.5), device_(device) {}
+  [[nodiscard]] const char* class_name() const override {
+    return "ToDPDKDevice";
+  }
+  [[nodiscard]] std::size_t device() const { return device_; }
+
+  void push(PushContext& ctx, Batch batch) override {
+    charge(ctx, batch.size());
+    for (auto& p : batch) ctx.emitted.emplace_back(device_, std::move(p));
+  }
+
+ private:
+  std::size_t device_;
+};
+
+/// Swaps Ethernet source/destination addresses (the header-touching work
+/// the paper notes FastClick does on top of pure forwarding, Sec. 5.2).
+class EtherMirror final : public Element {
+ public:
+  explicit EtherMirror(std::string name) : Element(std::move(name), 12, 6.0) {}
+  [[nodiscard]] const char* class_name() const override {
+    return "EtherMirror";
+  }
+  void push(PushContext& ctx, Batch batch) override;
+};
+
+/// Counts packets and bytes.
+class Counter final : public Element {
+ public:
+  explicit Counter(std::string name) : Element(std::move(name), 8, 1.5) {}
+  [[nodiscard]] const char* class_name() const override { return "Counter"; }
+
+  void push(PushContext& ctx, Batch batch) override {
+    charge(ctx, batch.size());
+    packets_ += batch.size();
+    for (const auto& p : batch) bytes_ += p->size();
+    push_next(ctx, std::move(batch));
+  }
+
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const { return bytes_; }
+
+ private:
+  std::uint64_t packets_{0};
+  std::uint64_t bytes_{0};
+};
+
+/// Frees every packet.
+class Discard final : public Element {
+ public:
+  explicit Discard(std::string name) : Element(std::move(name), 5, 1.0) {}
+  [[nodiscard]] const char* class_name() const override { return "Discard"; }
+
+  void push(PushContext& ctx, Batch batch) override {
+    charge(ctx, batch.size());
+    ctx.discarded += batch.size();
+    // Batch handles free on scope exit.
+  }
+};
+
+/// Click's Classifier: per-packet dispatch to the first matching pattern's
+/// output port. Patterns are "OFFSET/HEXBYTES" (with '?' nibble wildcards)
+/// or "-" (match everything), exactly like Click's config language:
+///   Classifier(12/0800, 12/0806, -)   // IPv4 -> [0], ARP -> [1], rest [2]
+class Classifier final : public Element {
+ public:
+  Classifier(std::string name, const std::string& args);
+  [[nodiscard]] const char* class_name() const override {
+    return "Classifier";
+  }
+  void push(PushContext& ctx, Batch batch) override;
+
+  [[nodiscard]] std::size_t npatterns() const { return patterns_.size(); }
+
+ private:
+  struct Pattern {
+    bool match_all{false};
+    std::size_t offset{0};
+    std::vector<std::uint8_t> value;  // nibble-expanded
+    std::vector<std::uint8_t> mask;   // 0x0 for '?', 0xf otherwise
+  };
+  [[nodiscard]] bool matches(const Pattern& p,
+                             const pkt::Packet& pk) const;
+  std::vector<Pattern> patterns_;
+};
+
+/// Decrements IPv4 TTL (DecIPTTL), dropping expired packets.
+class DecIPTTL final : public Element {
+ public:
+  explicit DecIPTTL(std::string name) : Element(std::move(name), 10, 7.0) {}
+  [[nodiscard]] const char* class_name() const override { return "DecIPTTL"; }
+  void push(PushContext& ctx, Batch batch) override;
+};
+
+}  // namespace nfvsb::switches::fastclick

@@ -1,0 +1,54 @@
+// Megaflow cache — the second-level OvS datapath classifier: tuple-space
+// search over the set of in-use masks, one exact-match hash table per mask.
+// Lookup cost grows with the number of distinct masks (subtables), which is
+// why the switch cost model charges per subtable probed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "switches/ovs/flow.h"
+
+namespace nfvsb::switches::ovs {
+
+class MegaflowCache {
+ public:
+  struct LookupResult {
+    Action action;
+    /// Subtables probed before the hit (>=1). Cost-model input.
+    std::size_t subtables_probed;
+  };
+
+  [[nodiscard]] std::optional<LookupResult> lookup(const FlowKey& key);
+
+  /// Install `masked key -> action` under `mask`, creating the subtable on
+  /// first use of the mask.
+  void insert(const FlowMask& mask, const FlowKey& key, const Action& action);
+
+  void flush();
+
+  [[nodiscard]] std::size_t subtables() const { return subtables_.size(); }
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const FlowKey& k) const {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+  struct Subtable {
+    FlowMask mask;
+    std::unordered_map<FlowKey, Action, KeyHash> flows;
+    std::uint64_t hit_count{0};  // for most-hit-first ordering
+  };
+
+  std::vector<Subtable> subtables_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace nfvsb::switches::ovs

@@ -1,0 +1,83 @@
+#include "switches/ovs/ovs_vsctl.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nfvsb::switches::ovs {
+
+void OvsVsctl::run(const std::string& command) {
+  std::istringstream in(command);
+  std::vector<std::string> toks;
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  std::size_t i = 0;
+  if (!toks.empty() && toks[0] == "ovs-vsctl") i = 1;
+  if (i >= toks.size()) {
+    throw std::invalid_argument("ovs-vsctl: empty command");
+  }
+
+  if (toks[i] == "add-br") {
+    if (i + 2 != toks.size()) {
+      throw std::invalid_argument("ovs-vsctl: add-br <name>");
+    }
+    if (!bridges_.emplace(toks[i + 1], true).second) {
+      throw std::invalid_argument("ovs-vsctl: bridge exists: " + toks[i + 1]);
+    }
+    return;
+  }
+
+  if (toks[i] == "add-port") {
+    // add-port <br> <port> -- set Interface <port> type=<type>
+    if (i + 3 > toks.size()) {
+      throw std::invalid_argument("ovs-vsctl: add-port <br> <port> ...");
+    }
+    const std::string& br = toks[i + 1];
+    const std::string& port_name = toks[i + 2];
+    if (!bridges_.contains(br)) {
+      throw std::invalid_argument("ovs-vsctl: no such bridge: " + br);
+    }
+    if (ofports_.contains(port_name)) {
+      throw std::invalid_argument("ovs-vsctl: port exists: " + port_name);
+    }
+    std::string type = "dpdk";
+    for (std::size_t k = i + 3; k < toks.size(); ++k) {
+      if (toks[k].rfind("type=", 0) == 0) type = toks[k].substr(5);
+    }
+    if (type == "dpdk") {
+      const auto nic = nics_.find(port_name);
+      if (nic == nics_.end()) {
+        throw std::invalid_argument("ovs-vsctl: unknown NIC: " + port_name);
+      }
+      ofports_[port_name] = sw_.num_ports();
+      sw_.attach_nic(*nic->second);
+      return;
+    }
+    if (type == "dpdkvhostuser") {
+      ofports_[port_name] = sw_.num_ports();
+      vhost_[port_name] = &sw_.add_vhost_user_port(port_name);
+      return;
+    }
+    throw std::invalid_argument("ovs-vsctl: unknown interface type: " + type);
+  }
+
+  throw std::invalid_argument("ovs-vsctl: unknown command: " + toks[i]);
+}
+
+std::size_t OvsVsctl::ofport(const std::string& port_name) const {
+  const auto it = ofports_.find(port_name);
+  if (it == ofports_.end()) {
+    throw std::invalid_argument("ovs-vsctl: no such port: " + port_name);
+  }
+  return it->second + 1;  // OpenFlow numbering is 1-based
+}
+
+ring::VhostUserPort& OvsVsctl::vhost_port(const std::string& name) {
+  const auto it = vhost_.find(name);
+  if (it == vhost_.end()) {
+    throw std::invalid_argument("ovs-vsctl: not a vhost port: " + name);
+  }
+  return *it->second;
+}
+
+}  // namespace nfvsb::switches::ovs

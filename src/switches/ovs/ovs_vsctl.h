@@ -1,0 +1,52 @@
+// ovs-vsctl style bridge/port management, mirroring the paper's appendix:
+// "we configure a new bridge and attach the physical interfaces to it by
+// specifying their PCI addresses using the ovs-vsctl command".
+//
+// Supported grammar (subset):
+//   ovs-vsctl add-br br0
+//   ovs-vsctl add-port br0 p0 -- set Interface p0 type=dpdk
+//   ovs-vsctl add-port br0 vh0 -- set Interface vh0 type=dpdkvhostuser
+//
+// type=dpdk ports bind a registered NIC; type=dpdkvhostuser ports create a
+// vhost-user port whose backend can be handed to a VM.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hw/nic.h"
+#include "ring/vhost_user_port.h"
+#include "switches/ovs/ovs_switch.h"
+
+namespace nfvsb::switches::ovs {
+
+class OvsVsctl {
+ public:
+  explicit OvsVsctl(OvsSwitch& sw) : sw_(sw) {}
+
+  /// Make a NIC referencable by name in add-port commands.
+  void register_nic(hw::NicPort& nic) { nics_[nic.name()] = &nic; }
+
+  /// Execute one command; throws std::invalid_argument on errors.
+  void run(const std::string& command);
+
+  /// Bridge existence (add-br).
+  [[nodiscard]] bool has_bridge(const std::string& name) const {
+    return bridges_.contains(name);
+  }
+
+  /// OpenFlow port number (1-based) of a port added with add-port.
+  [[nodiscard]] std::size_t ofport(const std::string& port_name) const;
+
+  /// Switch-side vhost port for a dpdkvhostuser interface.
+  [[nodiscard]] ring::VhostUserPort& vhost_port(const std::string& name);
+
+ private:
+  OvsSwitch& sw_;
+  std::map<std::string, bool> bridges_;
+  std::map<std::string, hw::NicPort*> nics_;
+  std::map<std::string, std::size_t> ofports_;        // name -> port index
+  std::map<std::string, ring::VhostUserPort*> vhost_;
+};
+
+}  // namespace nfvsb::switches::ovs

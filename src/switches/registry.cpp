@@ -1,0 +1,48 @@
+#include "switches/registry.h"
+
+#include "switches/bess/bess_switch.h"
+#include "switches/fastclick/fastclick_switch.h"
+#include "switches/ovs/ovs_switch.h"
+#include "switches/snabb/snabb_switch.h"
+#include "switches/t4p4s/t4p4s_switch.h"
+#include "switches/vale/vale_switch.h"
+#include "switches/vpp/vpp_switch.h"
+
+namespace nfvsb::switches {
+
+const char* to_string(SwitchType t) {
+  switch (t) {
+    case SwitchType::kBess: return "BESS";
+    case SwitchType::kSnabb: return "Snabb";
+    case SwitchType::kOvsDpdk: return "OvS-DPDK";
+    case SwitchType::kFastClick: return "FastClick";
+    case SwitchType::kVpp: return "VPP";
+    case SwitchType::kVale: return "VALE";
+    case SwitchType::kT4p4s: return "t4p4s";
+  }
+  return "?";
+}
+
+std::unique_ptr<SwitchBase> make_switch(SwitchType t, core::Simulator& sim,
+                                        hw::CpuCore& core,
+                                        const std::string& name) {
+  switch (t) {
+    case SwitchType::kBess:
+      return std::make_unique<bess::BessSwitch>(sim, core, name);
+    case SwitchType::kSnabb:
+      return std::make_unique<snabb::SnabbSwitch>(sim, core, name);
+    case SwitchType::kOvsDpdk:
+      return std::make_unique<ovs::OvsSwitch>(sim, core, name);
+    case SwitchType::kFastClick:
+      return std::make_unique<fastclick::FastClickSwitch>(sim, core, name);
+    case SwitchType::kVpp:
+      return std::make_unique<vpp::VppSwitch>(sim, core, name);
+    case SwitchType::kVale:
+      return std::make_unique<vale::ValeSwitch>(sim, core, name);
+    case SwitchType::kT4p4s:
+      return std::make_unique<t4p4s::T4p4sSwitch>(sim, core, name);
+  }
+  return nullptr;
+}
+
+}  // namespace nfvsb::switches

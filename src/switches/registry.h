@@ -1,0 +1,37 @@
+// Enumeration + factory over the seven evaluated switches, so scenario
+// builders and benches can sweep "all switches" uniformly.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+
+#include "switches/switch_base.h"
+
+namespace nfvsb::switches {
+
+enum class SwitchType : std::uint8_t {
+  kBess,
+  kSnabb,
+  kOvsDpdk,
+  kFastClick,
+  kVpp,
+  kVale,
+  kT4p4s,
+};
+
+inline constexpr std::array<SwitchType, 7> kAllSwitches = {
+    SwitchType::kBess,      SwitchType::kSnabb, SwitchType::kOvsDpdk,
+    SwitchType::kFastClick, SwitchType::kVpp,   SwitchType::kVale,
+    SwitchType::kT4p4s,
+};
+
+const char* to_string(SwitchType t);
+
+/// Construct a switch of the given type with its default (calibrated)
+/// cost model.
+std::unique_ptr<SwitchBase> make_switch(SwitchType t, core::Simulator& sim,
+                                        hw::CpuCore& core,
+                                        const std::string& name);
+
+}  // namespace nfvsb::switches

@@ -1,0 +1,28 @@
+#include "switches/snabb/app.h"
+
+#include <algorithm>
+
+namespace nfvsb::switches::snabb {
+
+double RateLimiterApp::process(Batch& batch) {
+  // Refill tokens for the elapsed interval, capped at the bucket size.
+  const core::SimTime now = sim_.now();
+  tokens_ = std::min(
+      burst_, tokens_ + rate_pps_ * core::to_sec(now - last_refill_));
+  last_refill_ = now;
+
+  Batch admitted;
+  admitted.reserve(batch.size());
+  for (auto& p : batch) {
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      admitted.push_back(std::move(p));
+    } else {
+      ++dropped_;  // handle freed: policed
+    }
+  }
+  batch = std::move(admitted);
+  return 0.0;
+}
+
+}  // namespace nfvsb::switches::snabb

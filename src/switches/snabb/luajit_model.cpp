@@ -1,0 +1,23 @@
+#include "switches/snabb/luajit_model.h"
+
+#include <algorithm>
+
+namespace nfvsb::switches::snabb {
+
+double LuaJitModel::step_multiplier() {
+  const std::uint64_t b = breaths_++;
+  if (b >= params_.warmup_breaths) return params_.steady_multiplier;
+  // Linear decay: traces compile progressively as counters trip.
+  const double frac =
+      static_cast<double>(b) / static_cast<double>(params_.warmup_breaths);
+  const double warm = params_.warmup_multiplier -
+                      (params_.warmup_multiplier - 1.0) * frac;
+  return std::max(warm, params_.steady_multiplier);
+}
+
+double LuaJitModel::sample_stall_ns(core::Rng& rng) const {
+  if (params_.stall_prob <= 0.0 || !rng.chance(params_.stall_prob)) return 0.0;
+  return rng.exponential(params_.stall_mean_us * 1000.0);
+}
+
+}  // namespace nfvsb::switches::snabb

@@ -1,0 +1,59 @@
+// LuaJIT execution model for Snabb.
+//
+// Snabb's data plane is Lua traced-JIT code: the first breaths of a fresh
+// configuration run interpreted/trace-recording (slow), after which hot
+// traces execute at near-native speed; occasional trace aborts / GC cycles
+// stall the engine (Sec. 5.3 attributes Snabb's high-load latency to the
+// JIT "evaluating its execution time in performing online code
+// optimizations").
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/time.h"
+
+namespace nfvsb::switches::snabb {
+
+class LuaJitModel {
+ public:
+  struct Params {
+    /// Cost multiplier while interpreting (before traces are hot).
+    double warmup_multiplier{12.0};
+    /// Breaths needed until traces cover the hot path.
+    std::uint64_t warmup_breaths{400};
+    /// Steady-state cost multiplier after warm-up. 1.0 when the hot path
+    /// fits the trace cache; larger app networks (long service chains)
+    /// exceed LuaJIT's trace/side-trace budget and run partially
+    /// interpreted -- the paper's Snabb collapse at 4+ VNFs.
+    double steady_multiplier{1.0};
+    /// Probability per breath of a trace-abort / GC stall.
+    double stall_prob{3e-3};
+    /// Mean stall length.
+    double stall_mean_us{15.0};
+  };
+
+  explicit LuaJitModel(Params p) : params_(p) {}
+  LuaJitModel() : LuaJitModel(Params{}) {}
+
+  /// Cost multiplier for the next breath (decays from warmup_multiplier
+  /// to 1.0 over warmup_breaths).
+  [[nodiscard]] double step_multiplier();
+
+  /// Extra stall for this breath, in ns (usually 0).
+  [[nodiscard]] double sample_stall_ns(core::Rng& rng) const;
+
+  /// A reconfiguration (new app network) resets trace state.
+  void invalidate_traces() { breaths_ = 0; }
+
+  void set_steady_multiplier(double m) { params_.steady_multiplier = m; }
+
+  [[nodiscard]] std::uint64_t breaths() const { return breaths_; }
+  [[nodiscard]] bool warm() const { return breaths_ >= params_.warmup_breaths; }
+
+ private:
+  Params params_;
+  std::uint64_t breaths_{0};
+};
+
+}  // namespace nfvsb::switches::snabb

@@ -1,0 +1,140 @@
+// Common machinery for all seven switch models.
+//
+// A switch is a set of ports served by ONE CpuCore (the paper's single-core
+// SUT rule) in round-robin service rounds:
+//
+//   wake (ring watcher, + wakeup latency if interrupt-driven)
+//     -> round: pick next non-empty input port (RR), dequeue <= burst,
+//        run the switch-specific functional datapath (process_batch),
+//        charge rx/pipeline/tx costs + jitter on the core,
+//     -> on completion: enqueue outputs (ring-full => drop AFTER the work
+//        was spent — wasted work, the congestion-collapse mechanism),
+//        then immediately start the next round if any input is non-empty.
+//
+// Subclasses implement process_batch(): real parsing/lookup over real frame
+// bytes, returning per-packet output ports and any extra pipeline cost.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/simulator.h"
+#include "hw/cpu_core.h"
+#include "hw/nic.h"
+#include "pkt/packet.h"
+#include "ring/netmap_port.h"
+#include "ring/port.h"
+#include "ring/vhost_user_port.h"
+#include "switches/cost_model.h"
+
+namespace nfvsb::switches {
+
+struct SwitchStats {
+  std::uint64_t rx_packets{0};
+  std::uint64_t tx_packets{0};
+  /// Packets fully processed but dropped at a full output ring: the cycles
+  /// were spent for nothing (wasted work).
+  std::uint64_t tx_drops{0};
+  /// Packets the datapath itself discarded (no route / TTL / filter).
+  std::uint64_t discards{0};
+  std::uint64_t rounds{0};
+};
+
+class SwitchBase {
+ public:
+  SwitchBase(core::Simulator& sim, hw::CpuCore& core, std::string name,
+             CostModel cost);
+  virtual ~SwitchBase() = default;
+
+  SwitchBase(const SwitchBase&) = delete;
+  SwitchBase& operator=(const SwitchBase&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] virtual const char* kind() const = 0;
+
+  // --- port management ------------------------------------------------------
+  /// Bind a physical NIC queue pair as a switch port (PMD attach).
+  ring::Port& attach_nic(hw::NicPort& nic);
+
+  /// Create a vhost-user port (switch side). Pair with a VM via
+  /// ring::GuestVirtioPort{port}.
+  ring::VhostUserPort& add_vhost_user_port(const std::string& port_name);
+
+  /// Create a ptnet port (netmap passthrough; VALE only in practice).
+  ring::PtnetPort& add_ptnet_port(const std::string& port_name);
+
+  /// Adopt an arbitrary pre-built port.
+  ring::Port& add_port(std::unique_ptr<ring::Port> port);
+
+  [[nodiscard]] std::size_t num_ports() const { return ports_.size(); }
+  [[nodiscard]] ring::Port& port(std::size_t i) { return *ports_.at(i); }
+  [[nodiscard]] const ring::Port& port(std::size_t i) const {
+    return *ports_.at(i);
+  }
+  /// Index of `p` among this switch's ports; npos when foreign.
+  [[nodiscard]] std::size_t index_of(const ring::Port& p) const;
+
+  /// Arm the data path (installs ring watchers). Call after all ports and
+  /// datapath configuration are in place, before traffic starts.
+  void start();
+
+  [[nodiscard]] const SwitchStats& stats() const { return stats_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+  [[nodiscard]] CostModel& mutable_cost_model() { return cost_; }
+  [[nodiscard]] hw::CpuCore& cpu() { return core_; }
+
+  /// Derive an independent RNG stream (for stochastic datapath modules).
+  [[nodiscard]] core::Rng split_rng() { return rng_.split(); }
+
+ protected:
+  /// One output decision: where `pkt` goes. Null `out` = discard.
+  struct Tx {
+    ring::Port* out{nullptr};
+    pkt::PacketHandle pkt;
+  };
+
+  /// Switch-specific functional datapath. Consumes `batch` (all dequeued
+  /// from `in`), fills `out` with forwarding decisions, and returns any
+  /// EXTRA pipeline cost in ns for the whole batch (on top of the cost
+  /// model's per-packet pipeline_ns).
+  virtual double process_batch(ring::Port& in,
+                               std::vector<pkt::PacketHandle> batch,
+                               std::vector<Tx>& out) = 0;
+
+  core::Simulator& sim() { return sim_; }
+
+  /// Transmit outside a service round (e.g. a VNF's TX drain timer); counts
+  /// into the switch's tx statistics.
+  bool direct_tx(ring::Port& p, pkt::PacketHandle pkt);
+
+ private:
+  void on_enqueue(std::size_t port_idx, bool became_nonempty);
+  void wake(core::SimDuration latency);
+  void run_round();
+  void continue_or_idle();
+  void arm_timeout_checks();
+  [[nodiscard]] bool any_input_ready() const;
+  [[nodiscard]] bool port_ready(std::size_t i) const;
+
+  core::Simulator& sim_;
+  hw::CpuCore& core_;
+  std::string name_;
+  CostModel cost_;
+  core::Rng rng_;
+  std::vector<std::unique_ptr<ring::Port>> ports_;
+  /// First-enqueue time per port since its last service (batch assembly).
+  std::vector<core::SimTime> wait_since_;
+  std::size_t rr_next_{0};
+  bool started_{false};
+  bool active_{false};  // a round is scheduled or executing
+  /// Time of the last physical-port interrupt (for ITR coalescing).
+  core::SimTime last_irq_{-1};
+  /// Input port served by the previous round (alternation detection);
+  /// ports_.size() = none yet.
+  std::size_t last_served_{static_cast<std::size_t>(-1)};
+  SwitchStats stats_;
+};
+
+}  // namespace nfvsb::switches

@@ -1,0 +1,39 @@
+#include "switches/t4p4s/p4_pipeline.h"
+
+namespace nfvsb::switches::t4p4s {
+
+Phv parse(std::span<const std::uint8_t> frame) {
+  Phv phv;
+  if (frame.size() < pkt::kEthHeaderBytes) return phv;
+  phv.eth_valid = true;
+  for (std::size_t i = 0; i < 6; ++i) {
+    phv.eth_dst.bytes[i] = frame[i];
+    phv.eth_src.bytes[i] = frame[6 + i];
+  }
+  phv.eth_type = static_cast<std::uint16_t>((frame[12] << 8) | frame[13]);
+  if (phv.eth_type == pkt::kEtherTypeIpv4 &&
+      frame.size() >= pkt::kEthHeaderBytes + pkt::kIpv4HeaderBytes) {
+    const std::uint8_t* ip = &frame[pkt::kEthHeaderBytes];
+    if ((ip[0] >> 4) == 4 && (ip[0] & 0x0f) == 5) {
+      phv.ipv4_valid = true;
+      phv.ttl = ip[8];
+      phv.ip_src.addr = (static_cast<std::uint32_t>(ip[12]) << 24) |
+                        (static_cast<std::uint32_t>(ip[13]) << 16) |
+                        (static_cast<std::uint32_t>(ip[14]) << 8) | ip[15];
+      phv.ip_dst.addr = (static_cast<std::uint32_t>(ip[16]) << 24) |
+                        (static_cast<std::uint32_t>(ip[17]) << 16) |
+                        (static_cast<std::uint32_t>(ip[18]) << 8) | ip[19];
+    }
+  }
+  return phv;
+}
+
+void deparse(const Phv& phv, std::span<std::uint8_t> frame) {
+  if (!phv.eth_valid || frame.size() < pkt::kEthHeaderBytes) return;
+  for (std::size_t i = 0; i < 6; ++i) {
+    frame[i] = phv.eth_dst.bytes[i];
+    frame[6 + i] = phv.eth_src.bytes[i];
+  }
+}
+
+}  // namespace nfvsb::switches::t4p4s

@@ -1,0 +1,23 @@
+#include "switches/t4p4s/tables.h"
+
+#include <algorithm>
+
+namespace nfvsb::switches::t4p4s {
+
+void LpmTable::add(pkt::Ipv4Address prefix, int prefix_len, P4Action action) {
+  const std::uint32_t mask =
+      prefix_len == 0 ? 0u : ~0u << (32 - prefix_len);
+  Rule r{prefix.addr & mask, mask, prefix_len, action};
+  const auto pos = std::find_if(rules_.begin(), rules_.end(),
+                                [&](const Rule& x) { return x.len < r.len; });
+  rules_.insert(pos, r);
+}
+
+std::optional<P4Action> LpmTable::lookup(pkt::Ipv4Address addr) const {
+  for (const Rule& r : rules_) {
+    if ((addr.addr & r.mask) == r.prefix) return r.action;
+  }
+  return std::nullopt;
+}
+
+}  // namespace nfvsb::switches::t4p4s

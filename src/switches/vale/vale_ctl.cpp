@@ -1,0 +1,85 @@
+#include "switches/vale/vale_ctl.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nfvsb::switches::vale {
+namespace {
+
+std::vector<std::string> tokenize(const std::string& s) {
+  std::istringstream in(s);
+  std::vector<std::string> toks;
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return toks;
+}
+
+}  // namespace
+
+void ValeCtl::run(const std::string& command) {
+  const auto toks = tokenize(command);
+  std::size_t i = 0;
+  if (!toks.empty() && toks[0] == "vale-ctl") i = 1;
+  if (i + 2 != toks.size()) {
+    throw std::invalid_argument("vale-ctl: expected '<-n|-a> <arg>'");
+  }
+  const std::string& flag = toks[i];
+  const std::string& arg = toks[i + 1];
+
+  if (flag == "-n") {
+    if (virtual_ports_.contains(arg)) {
+      throw std::invalid_argument("vale-ctl: port exists: " + arg);
+    }
+    virtual_ports_[arg] = VirtualPort{};
+    return;
+  }
+  if (flag == "-a") {
+    const auto colon = arg.find(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("vale-ctl: expected 'valeX:port'");
+    }
+    const std::string sw_name = arg.substr(0, colon);
+    const std::string port_name = arg.substr(colon + 1);
+    const auto sw_it = switches_.find(sw_name);
+    if (sw_it == switches_.end()) {
+      throw std::invalid_argument("vale-ctl: unknown switch: " + sw_name);
+    }
+    ValeSwitch& sw = *sw_it->second;
+
+    if (const auto nic_it = nics_.find(port_name); nic_it != nics_.end()) {
+      sw.attach_nic(*nic_it->second);
+      return;
+    }
+    const auto vp_it = virtual_ports_.find(port_name);
+    if (vp_it == virtual_ports_.end()) {
+      throw std::invalid_argument("vale-ctl: unknown port: " + port_name);
+    }
+    if (vp_it->second.host != nullptr) {
+      throw std::invalid_argument("vale-ctl: already attached: " + port_name);
+    }
+    auto& host = sw.add_ptnet_port(port_name);
+    vp_it->second.host = &host;
+    vp_it->second.guest = std::make_unique<ring::GuestPtnetPort>(host);
+    return;
+  }
+  throw std::invalid_argument("vale-ctl: unknown flag: " + flag);
+}
+
+ring::GuestPtnetPort& ValeCtl::guest_port(const std::string& name) {
+  const auto it = virtual_ports_.find(name);
+  if (it == virtual_ports_.end() || !it->second.guest) {
+    throw std::invalid_argument("vale-ctl: no attached virtual port: " + name);
+  }
+  return *it->second.guest;
+}
+
+ring::PtnetPort& ValeCtl::host_port(const std::string& name) {
+  const auto it = virtual_ports_.find(name);
+  if (it == virtual_ports_.end() || it->second.host == nullptr) {
+    throw std::invalid_argument("vale-ctl: no attached virtual port: " + name);
+  }
+  return *it->second.host;
+}
+
+}  // namespace nfvsb::switches::vale

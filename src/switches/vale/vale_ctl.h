@@ -1,0 +1,49 @@
+// vale-ctl — the command-line style management interface for VALE
+// instances, mirroring the appendix of the paper:
+//
+//   vale-ctl -n v0          # create a virtual (ptnet-capable) port
+//   vale-ctl -a vale0:p1    # attach a registered NIC or virtual port
+//
+// Scenario builders use this so configurations read like the published
+// artifact scripts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hw/nic.h"
+#include "ring/netmap_port.h"
+#include "switches/vale/vale_switch.h"
+
+namespace nfvsb::switches::vale {
+
+class ValeCtl {
+ public:
+  /// Register the entities commands may reference by name.
+  void register_switch(ValeSwitch& sw) { switches_[sw.name()] = &sw; }
+  void register_nic(hw::NicPort& nic) { nics_[nic.name()] = &nic; }
+
+  /// Execute one command line. Throws std::invalid_argument on bad syntax
+  /// or unknown names.
+  void run(const std::string& command);
+
+  /// Guest-side view of a virtual port previously created with -n and
+  /// attached with -a (for wiring a VM). Throws if unknown/unattached.
+  [[nodiscard]] ring::GuestPtnetPort& guest_port(const std::string& name);
+
+  /// Host attachment of a virtual port (the switch-side ptnet port).
+  [[nodiscard]] ring::PtnetPort& host_port(const std::string& name);
+
+ private:
+  struct VirtualPort {
+    ring::PtnetPort* host{nullptr};  // owned by the switch once attached
+    std::unique_ptr<ring::GuestPtnetPort> guest;
+  };
+
+  std::map<std::string, ValeSwitch*> switches_;
+  std::map<std::string, hw::NicPort*> nics_;
+  std::map<std::string, VirtualPort> virtual_ports_;
+};
+
+}  // namespace nfvsb::switches::vale

@@ -1,0 +1,34 @@
+// VPP debug CLI (subset): the paper configures the SUT with
+//   test l2patch rx port0 tx port1
+//   test l2patch rx port1 tx port0
+// Port names are registered when ports are attached ("port0", "vhost0"...).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "switches/vpp/vpp_switch.h"
+
+namespace nfvsb::switches::vpp {
+
+class VppCli {
+ public:
+  explicit VppCli(VppSwitch& sw) : sw_(sw) {}
+
+  /// Name a port index for CLI reference.
+  void register_port(const std::string& name, std::size_t index) {
+    port_names_[name] = index;
+  }
+
+  /// Execute one CLI line; throws std::invalid_argument on errors.
+  void run(const std::string& line);
+
+  /// `show runtime`-style node counters.
+  [[nodiscard]] std::string show_runtime() const;
+
+ private:
+  VppSwitch& sw_;
+  std::map<std::string, std::size_t> port_names_;
+};
+
+}  // namespace nfvsb::switches::vpp

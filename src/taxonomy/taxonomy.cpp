@@ -1,0 +1,116 @@
+#include "taxonomy/taxonomy.h"
+
+#include <stdexcept>
+
+#include "scenario/report.h"
+
+namespace nfvsb::taxonomy {
+
+using switches::SwitchType;
+
+const std::array<SwitchProfile, 7>& profiles() {
+  static const std::array<SwitchProfile, 7> kProfiles = {{
+      {SwitchType::kBess, Architecture::kModular, Paradigm::kStructured,
+       ProcessingModel::kBoth, VirtualInterface::kVhostUser,
+       Reprogrammability::kMedium, "C, Python", "Programmable NIC", "",
+       "Forwarding between physical NICs",
+       "Incompatible with newer versions of QEMU"},
+      {SwitchType::kSnabb, Architecture::kModular, Paradigm::kStructured,
+       ProcessingModel::kPipeline, VirtualInterface::kVhostUser,
+       Reprogrammability::kHigh, "Lua, C", "VM-to-VM", "",
+       "Fast deployment, runtime optimization",
+       "Bottlenecked with multiple VNFs"},
+      {SwitchType::kOvsDpdk, Architecture::kSelfContained,
+       Paradigm::kMatchAction, ProcessingModel::kRtc,
+       VirtualInterface::kVhostUser, Reprogrammability::kMedium, "C",
+       "SDN switch", "", "Stateless SDN deployments",
+       "Supports OpenFlow protocol"},
+      {SwitchType::kFastClick, Architecture::kModular, Paradigm::kStructured,
+       ProcessingModel::kRtc, VirtualInterface::kVhostUser,
+       Reprogrammability::kLow, "C++", "Modular router",
+       "Increase descriptor ring size to 4096", "VNF chaining",
+       "Supports live migration, high latency at low workload"},
+      {SwitchType::kVpp, Architecture::kSelfContained, Paradigm::kStructured,
+       ProcessingModel::kRtc, VirtualInterface::kVhostUser,
+       Reprogrammability::kMedium, "C", "Full router", "", "VNF chaining",
+       "Supports live migration"},
+      {SwitchType::kVale, Architecture::kSelfContained, Paradigm::kStructured,
+       ProcessingModel::kRtc, VirtualInterface::kPtnet,
+       Reprogrammability::kLow, "C", "Virtual L2 Ethernet",
+       "Disable flow control for NIC interfaces",
+       "VNF chaining with high workload",
+       "Limited traffic classification and live migration capability"},
+      {SwitchType::kT4p4s, Architecture::kSelfContained,
+       Paradigm::kMatchAction, ProcessingModel::kRtc,
+       VirtualInterface::kVhostUser, Reprogrammability::kMedium, "C, Python",
+       "P4 switch", "Remove source MAC learning phase",
+       "Stateful SDN deployments", "Supports P4 language"},
+  }};
+  return kProfiles;
+}
+
+const SwitchProfile& profile(SwitchType t) {
+  for (const auto& p : profiles()) {
+    if (p.type == t) return p;
+  }
+  throw std::invalid_argument("unknown switch type");
+}
+
+const char* to_string(Architecture a) {
+  return a == Architecture::kSelfContained ? "Self-contained" : "Modular";
+}
+const char* to_string(Paradigm p) {
+  return p == Paradigm::kStructured ? "Structured" : "Match/action";
+}
+const char* to_string(ProcessingModel m) {
+  switch (m) {
+    case ProcessingModel::kRtc: return "RTC";
+    case ProcessingModel::kPipeline: return "Pipeline";
+    case ProcessingModel::kBoth: return "RTC+Pipeline";
+  }
+  return "?";
+}
+const char* to_string(VirtualInterface v) {
+  return v == VirtualInterface::kVhostUser ? "vhost-user" : "ptnet";
+}
+const char* to_string(Reprogrammability r) {
+  switch (r) {
+    case Reprogrammability::kLow: return "Low";
+    case Reprogrammability::kMedium: return "Medium";
+    case Reprogrammability::kHigh: return "High";
+  }
+  return "?";
+}
+
+std::string render_table1() {
+  scenario::TextTable t({"Switch", "Architecture", "Paradigm", "Processing",
+                         "Virt. iface", "Reprog.", "Languages",
+                         "Main purpose"});
+  for (const auto& p : profiles()) {
+    t.add_row({switches::to_string(p.type), to_string(p.architecture),
+               to_string(p.paradigm), to_string(p.processing),
+               to_string(p.virtual_interface),
+               to_string(p.reprogrammability), p.languages, p.main_purpose});
+  }
+  return t.to_string();
+}
+
+std::string render_table2() {
+  scenario::TextTable t({"Switch", "Applied tuning"});
+  for (const auto& p : profiles()) {
+    if (p.tuning[0] != '\0') {
+      t.add_row({switches::to_string(p.type), p.tuning});
+    }
+  }
+  return t.to_string();
+}
+
+std::string render_table5() {
+  scenario::TextTable t({"Switch", "Best at", "Remarks"});
+  for (const auto& p : profiles()) {
+    t.add_row({switches::to_string(p.type), p.best_at, p.remarks});
+  }
+  return t.to_string();
+}
+
+}  // namespace nfvsb::taxonomy

@@ -1,0 +1,48 @@
+// Machine-readable design-space taxonomy: the paper's Table 1 (design
+// dimensions), Table 2 (parameter tunings) and Table 5 (use-case summary).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "switches/registry.h"
+
+namespace nfvsb::taxonomy {
+
+enum class Architecture : std::uint8_t { kSelfContained, kModular };
+enum class Paradigm : std::uint8_t { kStructured, kMatchAction };
+enum class ProcessingModel : std::uint8_t { kRtc, kPipeline, kBoth };
+enum class VirtualInterface : std::uint8_t { kVhostUser, kPtnet };
+enum class Reprogrammability : std::uint8_t { kLow, kMedium, kHigh };
+
+struct SwitchProfile {
+  switches::SwitchType type;
+  Architecture architecture;
+  Paradigm paradigm;
+  ProcessingModel processing;
+  VirtualInterface virtual_interface;
+  Reprogrammability reprogrammability;
+  const char* languages;
+  const char* main_purpose;
+  const char* tuning;     ///< Table 2 ("" if none)
+  const char* best_at;    ///< Table 5
+  const char* remarks;    ///< Table 5
+};
+
+/// All seven profiles, in the paper's Table 1 order.
+const std::array<SwitchProfile, 7>& profiles();
+
+const SwitchProfile& profile(switches::SwitchType t);
+
+const char* to_string(Architecture a);
+const char* to_string(Paradigm p);
+const char* to_string(ProcessingModel m);
+const char* to_string(VirtualInterface v);
+const char* to_string(Reprogrammability r);
+
+/// Render Tables 1, 2 and 5 as text.
+std::string render_table1();
+std::string render_table2();
+std::string render_table5();
+
+}  // namespace nfvsb::taxonomy

@@ -1,0 +1,37 @@
+#include "traffic/flowatcher.h"
+
+#include "traffic/pcap_writer.h"
+
+namespace nfvsb::traffic {
+
+FloWatcher::FloWatcher(core::Simulator& sim, core::SimTime meter_open_at)
+    : sim_(sim), rx_meter_(meter_open_at) {}
+
+FloWatcher::~FloWatcher() = default;
+
+void FloWatcher::capture_to(const std::string& pcap_path) {
+  pcap_ = std::make_unique<PcapWriter>(pcap_path);
+}
+
+void FloWatcher::attach(ring::GuestPort& port) {
+  attach_ring(port.rx_ring());
+}
+
+void FloWatcher::attach_ring(ring::SpscRing& ring) {
+  ring.set_sink([this](pkt::PacketHandle p) { consume(std::move(p)); });
+}
+
+void FloWatcher::consume(pkt::PacketHandle p) {
+  rx_meter_.on_packet(sim_.now(), p->size());
+  if (pcap_) pcap_->write(*p, sim_.now());
+  if (const auto t = pkt::parse_five_tuple(p->bytes())) {
+    ++flows_[t->hash()];
+  } else {
+    ++non_ip_;
+  }
+  if (p->probe_id != 0 && p->sw_timestamp != 0) {
+    latency_.record(sim_.now() - p->sw_timestamp);
+  }
+}
+
+}  // namespace nfvsb::traffic

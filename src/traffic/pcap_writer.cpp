@@ -1,0 +1,47 @@
+#include "traffic/pcap_writer.h"
+
+#include <stdexcept>
+
+namespace nfvsb::traffic {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xa1b2c3d4;       // big-endian ts in us
+constexpr std::uint16_t kVersionMajor = 2;
+constexpr std::uint16_t kVersionMinor = 4;
+constexpr std::uint32_t kLinktypeEthernet = 1;
+constexpr std::uint32_t kSnapLen = 65535;
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("pcap: cannot open " + path);
+  put_u32(kMagic);
+  put_u16(kVersionMajor);
+  put_u16(kVersionMinor);
+  put_u32(0);  // thiszone
+  put_u32(0);  // sigfigs
+  put_u32(kSnapLen);
+  put_u32(kLinktypeEthernet);
+}
+
+PcapWriter::~PcapWriter() { out_.flush(); }
+
+void PcapWriter::put_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), 4);
+}
+
+void PcapWriter::put_u16(std::uint16_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), 2);
+}
+
+void PcapWriter::write(const pkt::Packet& p, core::SimTime at) {
+  const auto us_total = static_cast<std::uint64_t>(at / core::kMicrosecond);
+  put_u32(static_cast<std::uint32_t>(us_total / 1'000'000));  // ts_sec
+  put_u32(static_cast<std::uint32_t>(us_total % 1'000'000));  // ts_usec
+  put_u32(p.size());  // incl_len
+  put_u32(p.size());  // orig_len
+  out_.write(reinterpret_cast<const char*>(p.data()), p.size());
+  ++count_;
+}
+
+}  // namespace nfvsb::traffic

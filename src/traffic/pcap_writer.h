@@ -1,0 +1,44 @@
+// Minimal libpcap-format trace writer, so monitors can dump what they saw
+// for offline inspection (tcpdump/wireshark-compatible).
+//
+// Classic pcap format: 24-byte global header (magic 0xa1b2c3d4, LINKTYPE_
+// ETHERNET), then per-packet 16-byte record headers. Timestamps map the
+// simulation clock onto seconds/microseconds since epoch 0.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "core/time.h"
+#include "pkt/packet.h"
+
+namespace nfvsb::traffic {
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header.
+  /// Throws std::runtime_error if the file cannot be created.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Append one frame captured at simulation time `at`.
+  void write(const pkt::Packet& p, core::SimTime at);
+
+  [[nodiscard]] std::uint64_t packets_written() const { return count_; }
+
+  /// Flush buffered records to disk.
+  void flush() { out_.flush(); }
+
+ private:
+  void put_u32(std::uint32_t v);
+  void put_u16(std::uint16_t v);
+
+  std::ofstream out_;
+  std::uint64_t count_{0};
+};
+
+}  // namespace nfvsb::traffic

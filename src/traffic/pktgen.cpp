@@ -1,0 +1,65 @@
+#include "traffic/pktgen.h"
+
+#include <cassert>
+
+namespace nfvsb::traffic {
+
+PktGen::PktGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg)
+    : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {}
+
+void PktGen::attach_tx(ring::GuestPort& port) {
+  assert(tx_port_ == nullptr);
+  tx_port_ = &port;
+}
+
+core::SimDuration PktGen::gap() const {
+  const double prep_ns =
+      cfg_.prep_fixed_ns +
+      cfg_.prep_byte_ns * static_cast<double>(cfg_.frame.frame_bytes);
+  double gap_ps = prep_ns * static_cast<double>(core::kNanosecond);
+  if (cfg_.rate_pps > 0) {
+    gap_ps = std::max(gap_ps,
+                      static_cast<double>(core::kSecond) / cfg_.rate_pps);
+  }
+  return static_cast<core::SimDuration>(gap_ps);
+}
+
+void PktGen::start_tx(core::SimTime at, core::SimTime until) {
+  assert(tx_port_ != nullptr && "attach TX first");
+  tx_until_ = until;
+  next_probe_at_ = at;
+  sim_.schedule_at(at, [this] { emit_one(); });
+}
+
+void PktGen::emit_one() {
+  if (sim_.now() >= tx_until_) return;
+  pkt::PacketHandle p = pool_.allocate();
+  if (p) {
+    pkt::craft_udp_frame(*p, cfg_.frame);
+    p->seq = ++seq_;
+    p->origin = cfg_.origin;
+    pkt::write_payload_seq(*p, p->seq);
+    if (cfg_.probe_interval > 0 && sim_.now() >= next_probe_at_) {
+      p->probe_id = ++probe_seq_;
+      p->sw_timestamp = sim_.now();
+      next_probe_at_ = sim_.now() + cfg_.probe_interval;
+    }
+    if (tx_port_->tx(std::move(p))) {
+      ++tx_sent_;
+    } else {
+      ++tx_failed_;  // netmap ring full: pkt-gen spins and retries
+    }
+  }
+  sim_.schedule_in(gap(), [this] { emit_one(); });
+}
+
+void PktGen::attach_rx(ring::GuestPort& port) {
+  port.rx_ring().set_sink([this](pkt::PacketHandle p) {
+    rx_meter_.on_packet(sim_.now(), p->size());
+    if (p->probe_id != 0 && p->sw_timestamp != 0) {
+      latency_.record(sim_.now() - p->sw_timestamp);
+    }
+  });
+}
+
+}  // namespace nfvsb::traffic

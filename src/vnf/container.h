@@ -1,0 +1,58 @@
+// Containerized VNFs — the paper's second future-work item ("the use of
+// containers instead of VMs", Sec. 6).
+//
+// A container is a host process in its own namespace: it attaches to the
+// switch over the same vhost-user/virtio-user rings a VM would use, but
+// there is no hypervisor between the data path and the VNF — no vmexits on
+// notification, no guest/host address translation, no QEMU ioeventfd hop.
+// We model that as (a) a cheaper guest-side driver in the VNF's cost model
+// and (b) a discount on the switch's vhost fixed costs (applied by the
+// scenario when `containers` is set; the copies themselves remain — virtio-
+// user still moves payloads through shared-memory rings).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpu_core.h"
+#include "ring/vhost_user_port.h"
+
+namespace nfvsb::vnf {
+
+class Container {
+ public:
+  /// Fraction of the VM vhost fixed cost a virtio-user (container) crossing
+  /// pays: measured container stacks save the notification/translation part
+  /// of each crossing but none of the copy.
+  static constexpr double kVhostFixedFactor = 0.8;
+
+  Container(std::string name, hw::CpuCore& cpu)
+      : name_(std::move(name)), cpu_(&cpu) {}
+
+  Container(const Container&) = delete;
+  Container& operator=(const Container&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] hw::CpuCore& cpu() { return *cpu_; }
+
+  /// Attach a virtio-user device whose backend is a switch-side vhost port.
+  ring::GuestVirtioPort& attach_virtio_user(ring::VhostUserPort& backend) {
+    auto p = std::make_unique<ring::GuestVirtioPort>(backend);
+    auto& ref = *p;
+    devices_.push_back(std::move(p));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] ring::GuestPort& device(std::size_t i) {
+    return *devices_.at(i);
+  }
+
+ private:
+  std::string name_;
+  hw::CpuCore* cpu_;
+  std::vector<std::unique_ptr<ring::GuestPort>> devices_;
+};
+
+}  // namespace nfvsb::vnf

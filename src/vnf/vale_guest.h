@@ -1,0 +1,29 @@
+// Guest-side VALE VNF.
+//
+// In the VALE loopback scenario the paper runs "a VALE instance as a VNF"
+// inside each VM, cross-connecting the VM's pair of ptnet ports (Sec. 5.2).
+// This helper builds exactly that: a ValeSwitch running on a VM vcpu whose
+// two ports are the guest views of two host ptnet ports.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ring/netmap_port.h"
+#include "switches/vale/vale_switch.h"
+
+namespace nfvsb::vnf {
+
+class GuestVale {
+ public:
+  GuestVale(core::Simulator& sim, hw::CpuCore& vcpu, const std::string& name,
+            ring::PtnetPort& dev0, ring::PtnetPort& dev1);
+
+  [[nodiscard]] switches::vale::ValeSwitch& vale() { return *sw_; }
+  void start() { sw_->start(); }
+
+ private:
+  std::unique_ptr<switches::vale::ValeSwitch> sw_;
+};
+
+}  // namespace nfvsb::vnf

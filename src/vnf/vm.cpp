@@ -1,0 +1,5 @@
+#include "vnf/vm.h"
+
+// Vm is header-only today; this TU anchors the module in the build and
+// reserves a home for future out-of-line behaviour (device hotplug, vcpu
+// pinning policies).

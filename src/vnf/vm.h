@@ -1,0 +1,59 @@
+// QEMU/KVM virtual machine container.
+//
+// The paper deploys each VNF in a CentOS 7 VM with 4 vcpus (QEMU -smp 4).
+// The VM here is a resource container: vcpus (cores taken from the NUMA-0
+// pool) and guest-side views of its paravirtual devices (virtio or ptnet).
+// Instruction-level emulation is out of scope — virtualization costs live
+// in the port models, which is where the paper locates them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/cpu_core.h"
+#include "ring/netmap_port.h"
+#include "ring/vhost_user_port.h"
+
+namespace nfvsb::vnf {
+
+class Vm {
+ public:
+  Vm(std::string name, std::vector<hw::CpuCore*> vcpus)
+      : name_(std::move(name)), vcpus_(std::move(vcpus)) {}
+
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t vcpu_count() const { return vcpus_.size(); }
+  [[nodiscard]] hw::CpuCore& vcpu(std::size_t i) { return *vcpus_.at(i); }
+
+  /// Attach a virtio NIC whose backend is a switch-side vhost-user port.
+  ring::GuestVirtioPort& attach_virtio(ring::VhostUserPort& backend) {
+    auto p = std::make_unique<ring::GuestVirtioPort>(backend);
+    auto& ref = *p;
+    devices_.push_back(std::move(p));
+    return ref;
+  }
+
+  /// Attach a ptnet device passing through a host netmap/VALE port.
+  ring::GuestPtnetPort& attach_ptnet(ring::PtnetPort& host) {
+    auto p = std::make_unique<ring::GuestPtnetPort>(host);
+    auto& ref = *p;
+    devices_.push_back(std::move(p));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] ring::GuestPort& device(std::size_t i) {
+    return *devices_.at(i);
+  }
+
+ private:
+  std::string name_;
+  std::vector<hw::CpuCore*> vcpus_;
+  std::vector<std::unique_ptr<ring::GuestPort>> devices_;
+};
+
+}  // namespace nfvsb::vnf

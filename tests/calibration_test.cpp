@@ -1,0 +1,321 @@
+// Calibration guardrails: the qualitative SHAPE of the paper's results
+// (Sec. 5, Figs. 1/4/5/6, Tables 3/4) must hold. These tests are the
+// reproduction contract — if a cost-model edit breaks one of the paper's
+// findings, it fails here, not silently in a bench report.
+//
+// Quantitative anchors use generous tolerances (we reproduce a testbed,
+// not a bit-exact trace); orderings are asserted strictly.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace nfvsb::scenario {
+namespace {
+
+using switches::SwitchType;
+
+ScenarioConfig base(Kind kind, SwitchType sut, std::uint32_t frame = 64) {
+  ScenarioConfig cfg;
+  cfg.kind = kind;
+  cfg.sut = sut;
+  cfg.frame_bytes = frame;
+  // Long enough for LuaJIT warm-up to complete and averages to settle.
+  cfg.warmup = core::from_ms(10);
+  cfg.measure = core::from_ms(15);
+  return cfg;
+}
+
+double gbps(Kind kind, SwitchType sut, std::uint32_t frame = 64,
+            bool bidir = false, int chain = 1) {
+  auto cfg = base(kind, sut, frame);
+  cfg.bidirectional = bidir;
+  cfg.chain_length = chain;
+  const auto r = run_scenario(cfg);
+  return bidir ? r.gbps_total() : r.fwd.gbps;
+}
+
+// ---------- Fig. 4a: p2p ---------------------------------------------------
+
+TEST(CalibP2p, LineRateSwitchesSaturateAt64B) {
+  // "BESS, FastClick, and VPP still saturate the link at 10 Gbps."
+  for (auto sut : {SwitchType::kBess, SwitchType::kFastClick,
+                   SwitchType::kVpp}) {
+    EXPECT_GT(gbps(Kind::kP2p, sut), 9.9) << switches::to_string(sut);
+  }
+}
+
+TEST(CalibP2p, SlowerSwitchesMatchPaperAnchors) {
+  EXPECT_NEAR(gbps(Kind::kP2p, SwitchType::kSnabb), 8.9, 0.7);
+  EXPECT_NEAR(gbps(Kind::kP2p, SwitchType::kOvsDpdk), 8.05, 0.6);
+  EXPECT_NEAR(gbps(Kind::kP2p, SwitchType::kVale), 5.56, 0.5);
+  EXPECT_NEAR(gbps(Kind::kP2p, SwitchType::kT4p4s), 5.6, 0.5);
+}
+
+TEST(CalibP2p, EveryoneSaturatesAt256BAndUp) {
+  // "all the software switches manage to saturate the 10 Gbps link with
+  //  packets bigger than 256B".
+  for (auto sut : switches::kAllSwitches) {
+    EXPECT_GT(gbps(Kind::kP2p, sut, 256), 9.4) << switches::to_string(sut);
+    EXPECT_GT(gbps(Kind::kP2p, sut, 1024), 9.4) << switches::to_string(sut);
+  }
+}
+
+TEST(CalibP2p, BidirectionalOrderingAndBessSixteenGbps) {
+  const double bess = gbps(Kind::kP2p, SwitchType::kBess, 64, true);
+  const double fc = gbps(Kind::kP2p, SwitchType::kFastClick, 64, true);
+  const double vpp = gbps(Kind::kP2p, SwitchType::kVpp, 64, true);
+  EXPECT_NEAR(bess, 16.0, 1.2);  // "BESS even reaches 16 Gbps"
+  EXPECT_GT(fc, 10.0);           // "manage to exceed 10 Gbps"
+  EXPECT_GT(vpp, 10.0);
+  EXPECT_GT(bess, fc);
+  EXPECT_GT(fc, vpp);
+}
+
+TEST(CalibP2p, BidirAt256VALEAndT4p4sBelowTwenty) {
+  // "all the switches, except VALE and t4p4s, reach 20 Gbps with 256B".
+  for (auto sut : switches::kAllSwitches) {
+    const double g = gbps(Kind::kP2p, sut, 256, true);
+    if (sut == SwitchType::kVale || sut == SwitchType::kT4p4s) {
+      EXPECT_LT(g, 19.0) << switches::to_string(sut);
+    } else {
+      EXPECT_GT(g, 19.0) << switches::to_string(sut);
+    }
+  }
+}
+
+// ---------- Fig. 4b: p2v ---------------------------------------------------
+
+TEST(CalibP2v, PaperAnchors64B) {
+  EXPECT_GT(gbps(Kind::kP2v, SwitchType::kBess), 9.9);      // line rate
+  EXPECT_NEAR(gbps(Kind::kP2v, SwitchType::kVpp), 6.9, 0.6);
+  EXPECT_NEAR(gbps(Kind::kP2v, SwitchType::kSnabb), 5.97, 0.6);
+  EXPECT_NEAR(gbps(Kind::kP2v, SwitchType::kVale), 5.77, 0.6);
+  EXPECT_NEAR(gbps(Kind::kP2v, SwitchType::kT4p4s), 4.04, 0.5);
+}
+
+TEST(CalibP2v, VhostIsTheBottleneckVsP2p) {
+  // Every vhost switch loses throughput vs its p2p result at 64 B.
+  for (auto sut : {SwitchType::kVpp, SwitchType::kOvsDpdk,
+                   SwitchType::kSnabb, SwitchType::kFastClick,
+                   SwitchType::kT4p4s}) {
+    EXPECT_LT(gbps(Kind::kP2v, sut), gbps(Kind::kP2p, sut) + 0.1)
+        << switches::to_string(sut);
+  }
+}
+
+TEST(CalibP2v, ReversedVppExposesVhostRxPenalty) {
+  // Paper: forward 6.9 Gbps, reversed 5.59 Gbps.
+  auto cfg = base(Kind::kP2v, SwitchType::kVpp);
+  const double fwd = run_scenario(cfg).fwd.gbps;
+  cfg.reverse = true;
+  const double rev = run_scenario(cfg).fwd.gbps;
+  EXPECT_LT(rev, fwd - 0.5);
+  EXPECT_NEAR(rev, 5.59, 0.6);
+}
+
+TEST(CalibP2v, BidirBessMatchesAnchor) {
+  // "BESS achieves 11.38 Gbps, much lower than bidirectional p2p (16)".
+  EXPECT_NEAR(gbps(Kind::kP2v, SwitchType::kBess, 64, true), 11.38, 1.6);
+}
+
+TEST(CalibP2v, LargeFrameBidirSplitsByDescriptorCost) {
+  // "BESS and FastClick still sustain 20 Gbps, but VPP, OvS-DPDK, Snabb,
+  //  and t4p4s fail to saturate" (1024 B bidirectional).
+  EXPECT_GT(gbps(Kind::kP2v, SwitchType::kBess, 1024, true), 19.5);
+  EXPECT_GT(gbps(Kind::kP2v, SwitchType::kFastClick, 1024, true), 19.5);
+  for (auto sut : {SwitchType::kVpp, SwitchType::kOvsDpdk,
+                   SwitchType::kSnabb, SwitchType::kT4p4s}) {
+    EXPECT_LT(gbps(Kind::kP2v, sut, 1024, true), 19.5)
+        << switches::to_string(sut);
+  }
+}
+
+// ---------- Fig. 4c: v2v ---------------------------------------------------
+
+TEST(CalibV2v, ValeLeadsThanksToPtnet) {
+  // "VALE achieves 10.50 Gbps ... other switches achieve throughput lower
+  //  than 7.4 Gbps."
+  const double vale = gbps(Kind::kV2v, SwitchType::kVale);
+  EXPECT_NEAR(vale, 10.50, 1.0);
+  for (auto sut : switches::kAllSwitches) {
+    if (sut == SwitchType::kVale) continue;
+    EXPECT_LT(gbps(Kind::kV2v, sut), 7.6) << switches::to_string(sut);
+  }
+}
+
+TEST(CalibV2v, ValeV2vBeatsItsOwnP2p) {
+  EXPECT_GT(gbps(Kind::kV2v, SwitchType::kVale),
+            gbps(Kind::kP2p, SwitchType::kVale) + 2.0);
+}
+
+TEST(CalibV2v, SnabbIsTheOnlyOneBeatingItsP2v) {
+  EXPECT_GT(gbps(Kind::kV2v, SwitchType::kSnabb),
+            gbps(Kind::kP2v, SwitchType::kSnabb));
+  for (auto sut : {SwitchType::kVpp, SwitchType::kOvsDpdk,
+                   SwitchType::kFastClick, SwitchType::kBess}) {
+    EXPECT_LT(gbps(Kind::kV2v, sut), gbps(Kind::kP2v, sut))
+        << switches::to_string(sut);
+  }
+}
+
+TEST(CalibV2v, ValeMemoryBandwidthRegimeAt1024B) {
+  // pkt-gen is not line-rate capped: VALE's v2v 1024 B lands way above
+  // 10 Gbps (paper ~55 uni) and degrades bidirectionally (~35, "only 64%
+  // of its unidirectional throughput").
+  const double uni = gbps(Kind::kV2v, SwitchType::kVale, 1024, false);
+  const double bidir = gbps(Kind::kV2v, SwitchType::kVale, 1024, true);
+  EXPECT_GT(uni, 45.0);
+  EXPECT_LT(bidir, uni * 0.75);
+  EXPECT_NEAR(bidir, 35.0, 8.0);
+}
+
+// ---------- Fig. 5/6: loopback --------------------------------------------
+
+TEST(CalibLoopback, BessLeadsSingleVnf) {
+  const double bess = gbps(Kind::kLoopback, SwitchType::kBess, 64, false, 1);
+  for (auto sut : switches::kAllSwitches) {
+    if (sut == SwitchType::kBess) continue;
+    EXPECT_GT(bess, gbps(Kind::kLoopback, sut, 64, false, 1))
+        << switches::to_string(sut);
+  }
+}
+
+TEST(CalibLoopback, ValeOvertakesBessByThreeVnfs) {
+  EXPECT_GT(gbps(Kind::kLoopback, SwitchType::kVale, 64, false, 3),
+            gbps(Kind::kLoopback, SwitchType::kBess, 64, false, 3) - 0.1);
+  // And clearly leads everyone at 5 VNFs.
+  const double vale5 = gbps(Kind::kLoopback, SwitchType::kVale, 64, false, 5);
+  for (auto sut : switches::kAllSwitches) {
+    if (sut == SwitchType::kVale || sut == SwitchType::kBess) continue;
+    EXPECT_GT(vale5, gbps(Kind::kLoopback, sut, 64, false, 5))
+        << switches::to_string(sut);
+  }
+}
+
+TEST(CalibLoopback, ValeHoldsLineRateAt1024BRegardlessOfLength) {
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_GT(gbps(Kind::kLoopback, SwitchType::kVale, 1024, false, n), 9.5)
+        << n;
+  }
+}
+
+TEST(CalibLoopback, SnabbCollapsesAtFourVnfs) {
+  const double three = gbps(Kind::kLoopback, SwitchType::kSnabb, 64, false, 3);
+  const double four = gbps(Kind::kLoopback, SwitchType::kSnabb, 64, false, 4);
+  // "its throughput plummets": a cliff, not the smooth ~n/(n+1) decay.
+  EXPECT_LT(four, three * 0.62);
+}
+
+TEST(CalibLoopback, T4p4sIsSlowestChainSwitch) {
+  for (int n : {1, 3}) {
+    const double t4 = gbps(Kind::kLoopback, SwitchType::kT4p4s, 64, false, n);
+    for (auto sut : {SwitchType::kVpp, SwitchType::kOvsDpdk,
+                     SwitchType::kFastClick, SwitchType::kVale}) {
+      EXPECT_LT(t4, gbps(Kind::kLoopback, sut, 64, false, n))
+          << switches::to_string(sut) << " n=" << n;
+    }
+  }
+}
+
+// ---------- Tables 3 / 4: latency ------------------------------------------
+
+TEST(CalibLatencyP2p, OrderingMatchesTable3) {
+  std::map<SwitchType, LatencySweep> sweeps;
+  for (auto sut : switches::kAllSwitches) {
+    auto cfg = base(Kind::kP2p, sut);
+    cfg.measure = core::from_ms(12);
+    sweeps[sut] = latency_sweep(cfg, {0.10, 0.50, 0.99});
+  }
+  const auto avg = [&](SwitchType s, int i) {
+    return sweeps[s].points[static_cast<std::size_t>(i)].result.lat_avg_us;
+  };
+  // BESS is the tightest DPDK switch at every load.
+  for (auto sut : switches::kAllSwitches) {
+    if (sut == SwitchType::kBess) continue;
+    EXPECT_GT(avg(sut, 0), avg(SwitchType::kBess, 0))
+        << switches::to_string(sut);
+  }
+  // Interrupt-driven VALE and batch-assembling t4p4s dominate low-load
+  // latency (paper: 32 us vs 4-7 us for the DPDK pollers).
+  for (auto sut : {SwitchType::kBess, SwitchType::kVpp, SwitchType::kOvsDpdk,
+                   SwitchType::kFastClick, SwitchType::kSnabb}) {
+    EXPECT_GT(avg(SwitchType::kVale, 0), 2.5 * avg(sut, 0))
+        << switches::to_string(sut);
+    EXPECT_GT(avg(SwitchType::kT4p4s, 0), 2.5 * avg(sut, 0))
+        << switches::to_string(sut);
+  }
+  // t4p4s blows up under peak load ("174 us ... instability").
+  EXPECT_GT(avg(SwitchType::kT4p4s, 2), 80.0);
+  // Latency grows with load for the poll-mode switches.
+  for (auto sut : {SwitchType::kBess, SwitchType::kVpp,
+                   SwitchType::kOvsDpdk}) {
+    EXPECT_GE(avg(sut, 2), avg(sut, 0)) << switches::to_string(sut);
+  }
+}
+
+TEST(CalibLatencyLoopback, LowLoadWorseThanMidLoadExceptVale) {
+  // Table 3: "latency under 0.10R+ load is higher than under 0.50R+ for
+  // all the software switches except VALE" (the l2fwd drain timer).
+  for (auto sut : {SwitchType::kVpp, SwitchType::kFastClick,
+                   SwitchType::kOvsDpdk, SwitchType::kSnabb}) {
+    auto cfg = base(Kind::kLoopback, sut);
+    cfg.chain_length = 2;
+    cfg.measure = core::from_ms(12);
+    const auto sweep = latency_sweep(cfg, {0.10, 0.50});
+    ASSERT_FALSE(sweep.skipped.has_value());
+    EXPECT_GT(sweep.points[0].result.lat_avg_us,
+              sweep.points[1].result.lat_avg_us)
+        << switches::to_string(sut);
+  }
+  auto cfg = base(Kind::kLoopback, SwitchType::kVale);
+  cfg.chain_length = 2;
+  cfg.measure = core::from_ms(12);
+  const auto vale = latency_sweep(cfg, {0.10, 0.50});
+  EXPECT_LT(vale.points[0].result.lat_avg_us,
+            vale.points[1].result.lat_avg_us);
+}
+
+TEST(CalibLatencyV2v, ValeLowestT4p4sWorst) {
+  std::map<SwitchType, double> rtt;
+  for (auto sut : switches::kAllSwitches) {
+    auto cfg = base(Kind::kV2v, sut);
+    cfg.rate_pps = 1e6;
+    cfg.probe_interval = core::from_us(60);
+    rtt[sut] = run_scenario(cfg).lat_avg_us;
+  }
+  for (auto sut : switches::kAllSwitches) {
+    if (sut == SwitchType::kVale) continue;
+    EXPECT_LT(rtt[SwitchType::kVale], rtt[sut]) << switches::to_string(sut);
+    if (sut == SwitchType::kT4p4s) continue;
+    EXPECT_GT(rtt[SwitchType::kT4p4s], rtt[sut]) << switches::to_string(sut);
+  }
+}
+
+// ---------- Fig. 1 ----------------------------------------------------------
+
+TEST(CalibFig1, ThroughputLatencyNegativelyCorrelated) {
+  // The paper's motivating observation: the switch with the highest
+  // bidirectional p2p throughput also achieves the lowest latency.
+  auto cfg = base(Kind::kP2p, SwitchType::kBess);
+  cfg.bidirectional = true;
+  const auto best_tput = run_scenario(cfg);
+  cfg.rate_pps = 0.95 * (best_tput.mpps_total() * 1e6) / 2.0;
+  cfg.probe_interval = core::from_us(60);
+  const auto bess_lat = run_scenario(cfg).lat_avg_us;
+
+  auto t4_cfg = base(Kind::kP2p, SwitchType::kT4p4s);
+  t4_cfg.bidirectional = true;
+  const auto t4_tput = run_scenario(t4_cfg);
+  t4_cfg.rate_pps = 0.95 * (t4_tput.mpps_total() * 1e6) / 2.0;
+  t4_cfg.probe_interval = core::from_us(60);
+  const auto t4_lat = run_scenario(t4_cfg).lat_avg_us;
+
+  EXPECT_GT(best_tput.gbps_total(), t4_tput.gbps_total());
+  EXPECT_LT(bess_lat, t4_lat);
+}
+
+}  // namespace
+}  // namespace nfvsb::scenario

@@ -1,0 +1,77 @@
+// Time base and link-rate arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace nfvsb::core {
+namespace {
+
+TEST(SimTime, ConversionConstantsAreConsistent) {
+  EXPECT_EQ(kNanosecond, 1000 * kPicosecond);
+  EXPECT_EQ(kMicrosecond, 1000 * kNanosecond);
+  EXPECT_EQ(kMillisecond, 1000 * kMicrosecond);
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+}
+
+TEST(SimTime, FromToRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_ns(from_ns(123.5)), 123.5);
+  EXPECT_DOUBLE_EQ(to_us(from_us(42.25)), 42.25);
+  EXPECT_DOUBLE_EQ(to_ms(from_ms(7.5)), 7.5);
+  EXPECT_DOUBLE_EQ(to_sec(from_sec(0.03)), 0.03);
+}
+
+TEST(SimTime, SubNanosecondResolution) {
+  // 0.1 ns must be representable (NIC serialization needs it).
+  EXPECT_EQ(from_ns(0.1), 100);
+}
+
+TEST(LinkRate, SixtyFourByteFrameAtTenGig) {
+  // 64 B + 20 B overhead = 84 B = 672 bits -> 67.2 ns at 10 Gbps.
+  EXPECT_EQ(kTenGigE.serialization_time(64), from_ns(67.2));
+}
+
+TEST(LinkRate, LineRatePpsMatchesThePaper) {
+  // The famous 14.88 Mpps for min-size frames.
+  EXPECT_NEAR(kTenGigE.line_rate_pps(64), 14.88e6, 0.01e6);
+  EXPECT_NEAR(kTenGigE.line_rate_pps(1024), 1.197e6, 0.002e6);
+}
+
+TEST(LinkRate, GbpsPpsRoundTrip) {
+  for (std::uint32_t size : {64u, 128u, 256u, 512u, 1024u, 1500u}) {
+    const double pps = kTenGigE.line_rate_pps(size);
+    EXPECT_NEAR(pps_to_gbps(pps, size), 10.0, 1e-9) << size;
+    EXPECT_NEAR(gbps_to_pps(10.0, size), pps, 1e-3) << size;
+  }
+}
+
+TEST(LinkRate, SerializationScalesWithRate) {
+  const LinkRate fortyGig{40e9};
+  EXPECT_EQ(fortyGig.serialization_time(64),
+            kTenGigE.serialization_time(64) / 4);
+}
+
+class FrameSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(FrameSizeSweep, SerializationTimesAreAdditive) {
+  // Serializing N frames back to back takes N x one frame (property that
+  // underpins the NIC model's line-rate enforcement).
+  const auto one = kTenGigE.serialization_time(GetParam());
+  core::SimDuration total = 0;
+  for (int i = 0; i < 100; ++i) total += one;
+  EXPECT_EQ(total, 100 * one);
+}
+
+TEST_P(FrameSizeSweep, WireOverheadAlwaysCounted) {
+  const double gbps = pps_to_gbps(1e6, GetParam());
+  const double payload_gbps = 1e6 * GetParam() * 8.0 / 1e9;
+  EXPECT_GT(gbps, payload_gbps);
+  EXPECT_NEAR(gbps - payload_gbps, 1e6 * 20 * 8.0 / 1e9, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FrameSizeSweep,
+                         ::testing::Values(64u, 128u, 256u, 512u, 1024u,
+                                           1280u, 1518u));
+
+}  // namespace
+}  // namespace nfvsb::core

@@ -1,0 +1,108 @@
+// EventQueue ordering, cancellation and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/event_queue.h"
+
+namespace nfvsb::core {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLive) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  const auto early = q.schedule(10, [] {});
+  EXPECT_EQ(q.next_time(), 10);
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(10, [&] { fired = true; });
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelInvalidIdIsSafe) {
+  EventQueue q;
+  q.schedule(10, [] {});
+  q.cancel(EventQueue::kInvalidEvent);
+  q.cancel(9999);  // never issued... tolerated, but count must stay sane
+  EXPECT_GE(q.size(), 0u);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue q;
+  q.schedule(123, [] {});
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.time, 123);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(i, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StressInterleavedScheduleAndPop) {
+  EventQueue q;
+  SimTime last = -1;
+  std::uint64_t popped = 0;
+  // Deterministic pseudo-random times; pops must be monotone.
+  std::uint64_t x = 12345;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+      q.schedule(1000 + static_cast<SimTime>(x % 100000), [] {});
+    }
+    for (int i = 0; i < 20 && !q.empty(); ++i) {
+      auto f = q.pop();
+      EXPECT_GE(f.time, last);
+      last = f.time;
+      ++popped;
+    }
+    // New events may only be scheduled at/after the last popped time for
+    // monotonicity to hold; emulate by raising the base.
+    last = -1;  // reset: this stress checks heap order per drain only
+  }
+  while (!q.empty()) {
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, 50u * 40u);
+}
+
+}  // namespace
+}  // namespace nfvsb::core

@@ -1,0 +1,131 @@
+// Packet pool and handle lifecycle.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "pkt/packet_pool.h"
+
+namespace nfvsb::pkt {
+namespace {
+
+TEST(PacketPool, AllocateAndAutoFree) {
+  PacketPool pool(4);
+  {
+    PacketHandle p = pool.allocate();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(pool.outstanding(), 1u);
+  }
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(PacketPool, ExhaustionReturnsEmptyHandle) {
+  PacketPool pool(2);
+  PacketHandle a = pool.allocate();
+  PacketHandle b = pool.allocate();
+  PacketHandle c = pool.allocate();
+  EXPECT_TRUE(a);
+  EXPECT_TRUE(b);
+  EXPECT_FALSE(c);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  EXPECT_EQ(pool.available(), 0u);
+}
+
+TEST(PacketPool, RecyclesFreedBuffers) {
+  PacketPool pool(1);
+  for (int i = 0; i < 100; ++i) {
+    PacketHandle p = pool.allocate();
+    ASSERT_TRUE(p) << i;
+  }
+  EXPECT_EQ(pool.alloc_failures(), 0u);
+}
+
+TEST(PacketPool, MetadataResetOnAllocate) {
+  PacketPool pool(1);
+  {
+    PacketHandle p = pool.allocate();
+    p->resize(128);
+    p->seq = 99;
+    p->probe_id = 5;
+    p->tx_timestamp = 123;
+    p->note_copy();
+  }
+  PacketHandle p = pool.allocate();
+  EXPECT_EQ(p->size(), 0u);
+  EXPECT_EQ(p->seq, 0u);
+  EXPECT_EQ(p->probe_id, 0u);
+  EXPECT_EQ(p->tx_timestamp, 0);
+  EXPECT_EQ(p->copy_count, 0u);
+}
+
+TEST(PacketPool, CloneCopiesPayloadAndBumpsCopyCount) {
+  PacketPool pool(2);
+  PacketHandle a = pool.allocate();
+  a->resize(64);
+  a->data()[0] = 0xab;
+  a->data()[63] = 0xcd;
+  a->seq = 7;
+  PacketHandle b = pool.clone(*a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(b->size(), 64u);
+  EXPECT_EQ(b->data()[0], 0xab);
+  EXPECT_EQ(b->data()[63], 0xcd);
+  EXPECT_EQ(b->seq, 7u);
+  EXPECT_EQ(b->copy_count, a->copy_count + 1);
+}
+
+TEST(PacketHandle, MoveTransfersOwnership) {
+  PacketPool pool(1);
+  PacketHandle a = pool.allocate();
+  Packet* raw = a.get();
+  PacketHandle b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT: moved-from check is the point
+  EXPECT_EQ(b.get(), raw);
+  EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+TEST(PacketHandle, MoveAssignFreesPrevious) {
+  PacketPool pool(2);
+  PacketHandle a = pool.allocate();
+  PacketHandle b = pool.allocate();
+  EXPECT_EQ(pool.outstanding(), 2u);
+  a = std::move(b);
+  EXPECT_EQ(pool.outstanding(), 1u);
+}
+
+TEST(PacketHandle, ReleaseDetaches) {
+  PacketPool pool(1);
+  PacketHandle a = pool.allocate();
+  Packet* raw = a.release();
+  EXPECT_FALSE(a);
+  EXPECT_EQ(pool.outstanding(), 1u);  // still out; re-wrap to free
+  PacketHandle b{raw};
+  b.reset();
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(Packet, ResizeWithinBounds) {
+  PacketPool pool(1);
+  PacketHandle p = pool.allocate();
+  p->resize(kMaxFrameBytes);
+  EXPECT_EQ(p->size(), kMaxFrameBytes);
+  EXPECT_EQ(p->bytes().size(), kMaxFrameBytes);
+}
+
+TEST(PacketPool, ManyPacketsStressWithVector) {
+  PacketPool pool(256);
+  std::vector<PacketHandle> held;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      auto p = pool.allocate();
+      ASSERT_TRUE(p);
+      held.push_back(std::move(p));
+    }
+    EXPECT_EQ(pool.outstanding(), 200u);
+    held.clear();
+    EXPECT_EQ(pool.outstanding(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace nfvsb::pkt

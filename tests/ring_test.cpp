@@ -1,0 +1,168 @@
+// SpscRing and Port semantics (buffering, drops, watchers, sinks, copy
+// accounting for vhost vs ptnet).
+#include <gtest/gtest.h>
+
+#include "pkt/packet_pool.h"
+#include "ring/netmap_port.h"
+#include "ring/port.h"
+#include "ring/spsc_ring.h"
+#include "ring/vhost_user_port.h"
+
+namespace nfvsb::ring {
+namespace {
+
+class RingTest : public ::testing::Test {
+ protected:
+  pkt::PacketPool pool_{64};
+  pkt::PacketHandle make(std::uint64_t seq = 0) {
+    auto p = pool_.allocate();
+    p->resize(64);
+    p->seq = seq;
+    return p;
+  }
+};
+
+TEST_F(RingTest, FifoOrder) {
+  SpscRing ring("r", 8);
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.enqueue(make(i));
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    auto p = ring.dequeue();
+    ASSERT_TRUE(p);
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(ring.dequeue());
+}
+
+TEST_F(RingTest, DropsWhenFullAndFreesPacket) {
+  SpscRing ring("r", 2);
+  EXPECT_TRUE(ring.enqueue(make()));
+  EXPECT_TRUE(ring.enqueue(make()));
+  EXPECT_FALSE(ring.enqueue(make()));
+  EXPECT_EQ(ring.drops(), 1u);
+  EXPECT_EQ(ring.size(), 2u);
+  // The dropped packet went back to the pool.
+  EXPECT_EQ(pool_.outstanding(), 2u);
+}
+
+TEST_F(RingTest, CountersTrack) {
+  SpscRing ring("r", 8);
+  ring.enqueue(make());
+  ring.enqueue(make());
+  ring.dequeue();
+  EXPECT_EQ(ring.enqueued(), 2u);
+  EXPECT_EQ(ring.dequeued(), 1u);
+}
+
+TEST_F(RingTest, WatcherSignalsEveryEnqueueAndEmptyTransition) {
+  SpscRing ring("r", 8);
+  int calls = 0;
+  int became = 0;
+  ring.set_watcher([&](bool b) {
+    ++calls;
+    became += b;
+  });
+  ring.enqueue(make());  // empty -> nonempty
+  ring.enqueue(make());
+  ring.dequeue();
+  ring.dequeue();
+  ring.enqueue(make());  // empty -> nonempty again
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(became, 2);
+}
+
+TEST_F(RingTest, SinkConsumesImmediately) {
+  SpscRing ring("r", 2);
+  std::uint64_t seen = 0;
+  ring.set_sink([&](pkt::PacketHandle p) { seen = p->seq; });
+  for (std::uint64_t i = 1; i <= 10; ++i) ring.enqueue(make(i));
+  EXPECT_EQ(seen, 10u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.drops(), 0u);  // sinks never overflow
+}
+
+TEST_F(RingTest, OwnedPortRoundTrip) {
+  RingPort port("p", PortKind::kInternal, 8);
+  port.in().enqueue(make(5));
+  auto p = port.rx();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->seq, 5u);
+  EXPECT_TRUE(port.tx(std::move(p)));
+  EXPECT_EQ(port.out().size(), 1u);
+}
+
+TEST_F(RingTest, BoundPortSharesRings) {
+  SpscRing a("a", 8), b("b", 8);
+  RingPort port("p", PortKind::kPhysical, a, b);
+  a.enqueue(make(1));
+  EXPECT_TRUE(port.rx());
+  port.tx(make(2));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST_F(RingTest, VhostPortCopiesBothDirections) {
+  VhostUserPort port("vh");
+  port.in().enqueue(make());
+  auto p = port.rx();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->copy_count, 1u);  // dequeue copy
+  port.tx(std::move(p));
+  auto q = port.out().dequeue();
+  EXPECT_EQ(q->copy_count, 2u);  // enqueue copy
+}
+
+TEST_F(RingTest, PtnetPortIsZeroCopy) {
+  PtnetPort port("pt");
+  port.in().enqueue(make());
+  auto p = port.rx();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->copy_count, 0u);
+  port.tx(std::move(p));
+  EXPECT_EQ(port.out().dequeue()->copy_count, 0u);
+}
+
+TEST_F(RingTest, GuestVirtioPortMirrorsBackend) {
+  VhostUserPort backend("vh");
+  GuestVirtioPort guest(backend);
+  // Guest TX lands where the switch rx-polls.
+  EXPECT_TRUE(guest.tx(make(9)));
+  auto at_switch = backend.rx();
+  ASSERT_TRUE(at_switch);
+  EXPECT_EQ(at_switch->seq, 9u);
+  // Switch TX lands where the guest rx-polls.
+  backend.tx(make(10));
+  auto at_guest = guest.rx();
+  ASSERT_TRUE(at_guest);
+  EXPECT_EQ(at_guest->seq, 10u);
+}
+
+TEST_F(RingTest, GuestKicksCountedOnEmptyTransition) {
+  VhostUserPort backend("vh");
+  GuestVirtioPort guest(backend);
+  guest.tx(make());
+  guest.tx(make());  // no kick: ring already non-empty
+  EXPECT_EQ(backend.kicks(), 1u);
+  backend.rx();
+  backend.rx();
+  guest.tx(make());
+  EXPECT_EQ(backend.kicks(), 2u);
+}
+
+TEST_F(RingTest, GuestPtnetPortMirrorsHost) {
+  PtnetPort host("pt");
+  GuestPtnetPort guest(host);
+  guest.tx(make(3));
+  EXPECT_EQ(host.rx()->seq, 3u);
+  host.tx(make(4));
+  EXPECT_EQ(guest.rx()->seq, 4u);
+}
+
+TEST(PortKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(PortKind::kPhysical), "physical");
+  EXPECT_STREQ(to_string(PortKind::kVhostUser), "vhost-user");
+  EXPECT_STREQ(to_string(PortKind::kPtnet), "ptnet");
+  EXPECT_STREQ(to_string(PortKind::kNetmapHost), "netmap-host");
+  EXPECT_STREQ(to_string(PortKind::kInternal), "internal");
+}
+
+}  // namespace
+}  // namespace nfvsb::ring

@@ -1,0 +1,188 @@
+// Scenario integration: conservation, caps, determinism, skips, reverse
+// paths, runner methodology.
+#include <gtest/gtest.h>
+
+#include "scenario/runner.h"
+#include "scenario/scenario.h"
+
+namespace nfvsb::scenario {
+namespace {
+
+ScenarioConfig quick(Kind kind, switches::SwitchType sut) {
+  ScenarioConfig cfg;
+  cfg.kind = kind;
+  cfg.sut = sut;
+  cfg.frame_bytes = 256;
+  cfg.warmup = core::from_ms(2);
+  cfg.measure = core::from_ms(5);
+  return cfg;
+}
+
+struct KindSwitch {
+  Kind kind;
+  switches::SwitchType sut;
+};
+
+class AllScenarios : public ::testing::TestWithParam<KindSwitch> {};
+
+TEST_P(AllScenarios, ForwardsAndRespectsLineRate) {
+  const auto cfg = quick(GetParam().kind, GetParam().sut);
+  const ScenarioResult r = run_scenario(cfg);
+  ASSERT_FALSE(r.skipped.has_value()) << *r.skipped;
+  EXPECT_GT(r.fwd.gbps, 0.5);
+  if (GetParam().kind != Kind::kV2v) {
+    // Physical scenarios are hard-capped by the 10 GbE link.
+    EXPECT_LE(r.fwd.gbps, 10.05);
+  }
+  EXPECT_GT(r.fwd.rx_packets, 100u);
+}
+
+std::vector<KindSwitch> all_combos() {
+  std::vector<KindSwitch> v;
+  for (auto k : {Kind::kP2p, Kind::kP2v, Kind::kV2v, Kind::kLoopback}) {
+    for (auto s : switches::kAllSwitches) v.push_back({k, s});
+  }
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllScenarios, ::testing::ValuesIn(all_combos()),
+    [](const auto& info) {
+      std::string n = std::string(to_string(info.param.kind)) + "_" +
+                      switches::to_string(info.param.sut);
+      for (auto& c : n) if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(ScenarioDeterminism, SameSeedSameResult) {
+  const auto cfg = quick(Kind::kP2p, switches::SwitchType::kOvsDpdk);
+  const auto a = run_scenario(cfg);
+  const auto b = run_scenario(cfg);
+  EXPECT_EQ(a.fwd.rx_packets, b.fwd.rx_packets);
+  EXPECT_DOUBLE_EQ(a.fwd.gbps, b.fwd.gbps);
+}
+
+TEST(ScenarioDeterminism, DifferentSeedDifferentNoise) {
+  auto cfg = quick(Kind::kP2p, switches::SwitchType::kOvsDpdk);
+  cfg.frame_bytes = 64;  // processing-limited => jitter visible
+  const auto a = run_scenario(cfg);
+  cfg.seed = 777;
+  const auto b = run_scenario(cfg);
+  EXPECT_NE(a.fwd.rx_packets, b.fwd.rx_packets);
+}
+
+TEST(ScenarioBidir, AggregateAtLeastUnidirectional) {
+  for (auto sut : {switches::SwitchType::kBess, switches::SwitchType::kVpp}) {
+    auto cfg = quick(Kind::kP2p, sut);
+    const auto uni = run_scenario(cfg);
+    cfg.bidirectional = true;
+    const auto bi = run_scenario(cfg);
+    EXPECT_GE(bi.gbps_total(), uni.fwd.gbps * 0.95)
+        << switches::to_string(sut);
+  }
+}
+
+TEST(ScenarioPaced, RateControlIsHonored) {
+  auto cfg = quick(Kind::kP2p, switches::SwitchType::kVpp);
+  cfg.rate_pps = 1e6;
+  const auto r = run_scenario(cfg);
+  EXPECT_NEAR(r.fwd.mpps, 1.0, 0.05);
+}
+
+TEST(ScenarioLoopback, BessBeyondThreeVmsIsSkipped) {
+  auto cfg = quick(Kind::kLoopback, switches::SwitchType::kBess);
+  cfg.chain_length = 4;
+  const auto r = run_scenario(cfg);
+  ASSERT_TRUE(r.skipped.has_value());
+  EXPECT_NE(r.skipped->find("QEMU"), std::string::npos);
+  cfg.chain_length = 3;
+  EXPECT_FALSE(run_scenario(cfg).skipped.has_value());
+}
+
+TEST(ScenarioLoopback, InvalidChainLengthSkipped) {
+  auto cfg = quick(Kind::kLoopback, switches::SwitchType::kVpp);
+  cfg.chain_length = 0;
+  EXPECT_TRUE(run_scenario(cfg).skipped.has_value());
+}
+
+TEST(ScenarioLoopback, ThroughputDecreasesWithChainLength) {
+  auto cfg = quick(Kind::kLoopback, switches::SwitchType::kVpp);
+  cfg.frame_bytes = 64;
+  double prev = 1e9;
+  for (int n = 1; n <= 3; ++n) {
+    cfg.chain_length = n;
+    const auto r = run_scenario(cfg);
+    EXPECT_LT(r.fwd.gbps, prev) << n;
+    prev = r.fwd.gbps;
+  }
+}
+
+TEST(ScenarioP2v, ReverseRunsVmToNic) {
+  auto cfg = quick(Kind::kP2v, switches::SwitchType::kVpp);
+  cfg.reverse = true;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.fwd.gbps, 0.5);
+  EXPECT_EQ(r.rev.rx_packets, 0u);  // reported in fwd by convention
+}
+
+TEST(ScenarioLatency, ProbesProduceSamples) {
+  auto cfg = quick(Kind::kP2p, switches::SwitchType::kBess);
+  cfg.rate_pps = 1e6;
+  cfg.probe_interval = core::from_us(50);
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.lat_samples, 50u);
+  EXPECT_GT(r.lat_avg_us, 0.0);
+  EXPECT_GE(r.lat_p99_us, r.lat_median_us);
+  EXPECT_GE(r.lat_max_us, r.lat_avg_us);
+  EXPECT_LE(r.lat_min_us, r.lat_avg_us);
+}
+
+TEST(ScenarioLatency, V2vLatencyModeWorksForAllSwitches) {
+  for (auto sut : switches::kAllSwitches) {
+    auto cfg = quick(Kind::kV2v, sut);
+    cfg.frame_bytes = 64;
+    cfg.rate_pps = 1e6;
+    cfg.probe_interval = core::from_us(100);
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.lat_samples, 10u) << switches::to_string(sut);
+    EXPECT_GT(r.lat_avg_us, 0.0) << switches::to_string(sut);
+  }
+}
+
+TEST(Runner, RPlusMatchesSaturatedThroughput) {
+  auto cfg = quick(Kind::kP2p, switches::SwitchType::kT4p4s);
+  cfg.frame_bytes = 64;
+  const double r_plus = measure_r_plus_mpps(cfg);
+  EXPECT_GT(r_plus, 5.0);
+  EXPECT_LT(r_plus, 14.89);
+}
+
+TEST(Runner, SweepProducesAllPoints) {
+  auto cfg = quick(Kind::kP2p, switches::SwitchType::kBess);
+  cfg.frame_bytes = 64;
+  const auto sweep = latency_sweep(cfg, {0.1, 0.5, 0.9});
+  ASSERT_FALSE(sweep.skipped.has_value());
+  ASSERT_EQ(sweep.points.size(), 3u);
+  for (const auto& p : sweep.points) {
+    EXPECT_GT(p.result.lat_samples, 20u);
+    EXPECT_NEAR(p.rate_mpps, p.load * sweep.r_plus_mpps, 1e-9);
+  }
+}
+
+TEST(Runner, SweepSkipsUnbuildableConfigs) {
+  auto cfg = quick(Kind::kLoopback, switches::SwitchType::kBess);
+  cfg.chain_length = 5;
+  const auto sweep = latency_sweep(cfg, {0.5});
+  EXPECT_TRUE(sweep.skipped.has_value());
+  EXPECT_TRUE(sweep.points.empty());
+}
+
+TEST(ScenarioNames, RoundTrip) {
+  EXPECT_STREQ(to_string(Kind::kP2p), "p2p");
+  EXPECT_STREQ(to_string(Kind::kP2v), "p2v");
+  EXPECT_STREQ(to_string(Kind::kV2v), "v2v");
+  EXPECT_STREQ(to_string(Kind::kLoopback), "loopback");
+}
+
+}  // namespace
+}  // namespace nfvsb::scenario

@@ -1,0 +1,114 @@
+// Simulator event-loop semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/simulator.h"
+
+namespace nfvsb::core {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(Simulator, ScheduleInAdvancesClock) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_in(from_us(5), [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, from_us(5));
+  EXPECT_EQ(sim.now(), from_us(5));
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule_in(from_us(1), [&] {
+    SimTime seen = -1;
+    sim.schedule_in(-from_us(10), [&sim, &seen] { seen = sim.now(); });
+    (void)seen;
+  });
+  sim.run();  // must not assert/fire in the past
+  EXPECT_EQ(sim.now(), from_us(1));
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule_in(from_us(2), [&] {
+    sim.schedule_at(from_us(1), [&] { fired.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], from_us(2));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_in(from_us(1), [&] { ++count; });
+  sim.schedule_in(from_us(10), [&] { ++count; });
+  sim.run_until(from_us(5));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), from_us(5));
+  EXPECT_TRUE(sim.has_pending());
+  sim.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilInclusiveOfBoundaryEvents) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_in(from_us(5), [&] { fired = true; });
+  sim.run_until(from_us(5));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_in(from_ns(10), chain);
+  };
+  sim.schedule_in(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99 * from_ns(10));
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_in(from_us(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulator, ResetClearsState) {
+  Simulator sim;
+  sim.schedule_in(from_us(1), [] {});
+  sim.run_until(from_ns(1));
+  sim.reset();
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.has_pending());
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, RngIsSeedDeterministic) {
+  Simulator a(42), b(42), c(43);
+  EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+  EXPECT_NE(a.rng().next_u64(), c.rng().next_u64());
+}
+
+}  // namespace
+}  // namespace nfvsb::core

@@ -1,0 +1,33 @@
+// End-to-end smoke: every switch forwards traffic in every scenario.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.h"
+
+namespace nfvsb::scenario {
+namespace {
+
+class SmokeP2p : public ::testing::TestWithParam<switches::SwitchType> {};
+
+TEST_P(SmokeP2p, ForwardsTraffic) {
+  ScenarioConfig cfg;
+  cfg.kind = Kind::kP2p;
+  cfg.sut = GetParam();
+  cfg.frame_bytes = 256;
+  cfg.warmup = core::from_ms(2);
+  cfg.measure = core::from_ms(5);
+  const ScenarioResult r = run_scenario(cfg);
+  ASSERT_FALSE(r.skipped.has_value());
+  EXPECT_GT(r.fwd.gbps, 1.0);
+  EXPECT_LE(r.fwd.gbps, 10.05);  // never above line rate
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSwitches, SmokeP2p, ::testing::ValuesIn(switches::kAllSwitches),
+    [](const auto& info) {
+      std::string n = switches::to_string(info.param);
+      for (auto& c : n) if (c == '-') c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace nfvsb::scenario

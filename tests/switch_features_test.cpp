@@ -1,0 +1,282 @@
+// Extended switch features: FastClick Classifier + output-port syntax,
+// VPP bridge domains, OvS management plane (vsctl, del-flows, rule stats).
+#include <gtest/gtest.h>
+
+#include "hw/cpu_core.h"
+#include "hw/numa.h"
+#include "pkt/crafting.h"
+#include "pkt/packet_pool.h"
+#include "switches/fastclick/elements.h"
+#include "switches/fastclick/fastclick_switch.h"
+#include "switches/ovs/ovs_ctl.h"
+#include "switches/ovs/ovs_vsctl.h"
+#include "switches/vpp/cli.h"
+#include "switches/vpp/vpp_switch.h"
+
+namespace nfvsb::switches {
+namespace {
+
+// ---------------- FastClick Classifier ------------------------------------
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  ClassifierTest() : cpu_(sim_, "sut"), sw_(sim_, cpu_, "fc", quiet()) {
+    for (int i = 0; i < 3; ++i) {
+      sw_.add_port(std::make_unique<ring::RingPort>(
+          "p" + std::to_string(i), ring::PortKind::kInternal, 512));
+    }
+  }
+  static CostModel quiet() {
+    auto c = fastclick::FastClickSwitch::default_cost_model();
+    c.batch_timeout = 0;
+    c.batch_timeout_vhost = 0;
+    c.jitter_cv = 0;
+    return c;
+  }
+  void push(std::uint16_t ether_type) {
+    auto p = pool_.allocate();
+    pkt::craft_udp_frame(*p, pkt::FrameSpec{});
+    pkt::EthHeader(p->bytes()).set_ether_type(ether_type);
+    sw_.port(0).in().enqueue(std::move(p));
+  }
+  core::Simulator sim_;
+  hw::CpuCore cpu_;
+  pkt::PacketPool pool_{256};
+  fastclick::FastClickSwitch sw_;
+};
+
+TEST_F(ClassifierTest, DispatchesByPattern) {
+  sw_.configure(R"(
+    c :: Classifier(12/0800, 12/0806, -);
+    FromDPDKDevice(0) -> c;
+    c[0] -> ToDPDKDevice(1);   // IPv4
+    c[1] -> ToDPDKDevice(2);   // ARP
+    c[2] -> Discard();         // rest
+  )");
+  sw_.start();
+  push(pkt::kEtherTypeIpv4);
+  push(pkt::kEtherTypeArp);
+  push(0x86dd);  // IPv6: falls to '-'
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 1u);
+  EXPECT_EQ(sw_.port(2).out().size(), 1u);
+  EXPECT_EQ(sw_.stats().discards, 1u);
+  sw_.port(1).out().clear();
+  sw_.port(2).out().clear();
+}
+
+TEST_F(ClassifierTest, NibbleWildcardsMatch) {
+  // 12/08?? matches both 0800 and 0806.
+  sw_.configure(R"(
+    c :: Classifier(12/08??, -);
+    FromDPDKDevice(0) -> c;
+    c[0] -> ToDPDKDevice(1);
+    c[1] -> Discard();
+  )");
+  sw_.start();
+  push(pkt::kEtherTypeIpv4);
+  push(pkt::kEtherTypeArp);
+  push(0x86dd);
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 2u);
+  EXPECT_EQ(sw_.stats().discards, 1u);
+  sw_.port(1).out().clear();
+}
+
+TEST_F(ClassifierTest, NoMatchingPatternDropsPacket) {
+  sw_.configure(R"(
+    c :: Classifier(12/0806);
+    FromDPDKDevice(0) -> c;
+    c[0] -> ToDPDKDevice(1);
+  )");
+  sw_.start();
+  push(pkt::kEtherTypeIpv4);  // not ARP
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 0u);
+  EXPECT_EQ(sw_.stats().discards, 1u);
+}
+
+TEST_F(ClassifierTest, RejectsMalformedPatterns) {
+  EXPECT_THROW(sw_.configure("c :: Classifier(0800);"),
+               std::invalid_argument);
+  EXPECT_THROW(sw_.configure("d :: Classifier(12/08z0);"),
+               std::invalid_argument);
+  EXPECT_THROW(sw_.configure("e :: Classifier(12/080);"),
+               std::invalid_argument);
+}
+
+TEST_F(ClassifierTest, OutputPortSyntaxErrorsRejected) {
+  EXPECT_THROW(
+      sw_.configure("c :: Counter; c[x] -> Discard();"),
+      std::invalid_argument);
+}
+
+// ---------------- VPP bridge domain ---------------------------------------
+
+class VppBridgeTest : public ::testing::Test {
+ protected:
+  VppBridgeTest() : cpu_(sim_, "sut"), sw_(sim_, cpu_, "vpp") {
+    for (int i = 0; i < 3; ++i) {
+      sw_.add_port(std::make_unique<ring::RingPort>(
+          "p" + std::to_string(i), ring::PortKind::kInternal, 512));
+    }
+  }
+  void push(std::size_t port, std::uint64_t src, std::uint64_t dst) {
+    auto p = pool_.allocate();
+    pkt::FrameSpec spec;
+    spec.src_mac = pkt::MacAddress::from_u64(src);
+    spec.dst_mac = pkt::MacAddress::from_u64(dst);
+    pkt::craft_udp_frame(*p, spec);
+    sw_.port(port).in().enqueue(std::move(p));
+  }
+  core::Simulator sim_;
+  hw::CpuCore cpu_;
+  pkt::PacketPool pool_{256};
+  vpp::VppSwitch sw_;
+};
+
+TEST_F(VppBridgeTest, LearnsAndForwards) {
+  sw_.bridge(0);
+  sw_.bridge(1);
+  sw_.start();
+  push(1, 0xB, 0xA);  // learn B@1
+  sim_.run();
+  sw_.port(0).out().clear();
+  push(0, 0xA, 0xB);  // towards B
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 1u);
+  EXPECT_EQ(sw_.bridge_node().fib().entries(), 2u);
+  sw_.port(1).out().clear();
+}
+
+TEST_F(VppBridgeTest, BridgeAndPatchCoexist) {
+  // Ports 0/1 bridged; port 2 patched back to 2 is nonsense, so patch
+  // 2 -> 0 instead: both features on one graph.
+  sw_.bridge(0);
+  sw_.bridge(1);
+  sw_.l2patch(2, 0);
+  sw_.start();
+  push(2, 0xC, 0xD);
+  sim_.run();
+  EXPECT_EQ(sw_.port(0).out().size(), 1u);
+  sw_.port(0).out().clear();
+}
+
+TEST_F(VppBridgeTest, CliBridgeCommand) {
+  vpp::VppCli cli(sw_);
+  cli.register_port("port0", 0);
+  cli.register_port("port1", 1);
+  cli.run("set interface l2 bridge port0 1");
+  cli.run("set interface l2 bridge port1 1");
+  sw_.start();
+  push(0, 0xA, 0xB);
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 1u);  // flood to the other member
+  sw_.port(1).out().clear();
+}
+
+TEST_F(VppBridgeTest, DisabledBridgeCostsNothing) {
+  // Feature arc: with no members the bridge node must not charge.
+  sw_.l2patch(0, 1);
+  sw_.start();
+  push(0, 0xA, 0xB);
+  sim_.run();
+  EXPECT_EQ(sw_.bridge_node().calls(), 0u);
+  sw_.port(1).out().clear();
+}
+
+// ---------------- OvS management plane -------------------------------------
+
+TEST(OvsVsctlTest, BuildsPaperP2pConfig) {
+  core::Simulator sim;
+  hw::Testbed bed(sim);
+  ovs::OvsSwitch sw(sim, bed.take_core(0), "br0");
+  ovs::OvsVsctl vsctl(sw);
+  vsctl.register_nic(bed.nic(0, 0));
+  vsctl.register_nic(bed.nic(0, 1));
+  vsctl.run("ovs-vsctl add-br br0");
+  vsctl.run("ovs-vsctl add-port br0 nic0.0 -- set Interface nic0.0 type=dpdk");
+  vsctl.run("ovs-vsctl add-port br0 nic0.1 -- set Interface nic0.1 type=dpdk");
+  EXPECT_TRUE(vsctl.has_bridge("br0"));
+  EXPECT_EQ(vsctl.ofport("nic0.0"), 1u);
+  EXPECT_EQ(vsctl.ofport("nic0.1"), 2u);
+  EXPECT_EQ(sw.num_ports(), 2u);
+  EXPECT_EQ(sw.port(0).kind(), ring::PortKind::kPhysical);
+}
+
+TEST(OvsVsctlTest, VhostUserPortsForVms) {
+  core::Simulator sim;
+  hw::CpuCore cpu(sim, "c");
+  ovs::OvsSwitch sw(sim, cpu, "br0");
+  ovs::OvsVsctl vsctl(sw);
+  vsctl.run("add-br br0");
+  vsctl.run("add-port br0 vh0 -- set Interface vh0 type=dpdkvhostuser");
+  EXPECT_EQ(sw.port(0).kind(), ring::PortKind::kVhostUser);
+  EXPECT_NO_THROW(vsctl.vhost_port("vh0"));
+  EXPECT_THROW(vsctl.vhost_port("ghost"), std::invalid_argument);
+}
+
+TEST(OvsVsctlTest, RejectsBadCommands) {
+  core::Simulator sim;
+  hw::CpuCore cpu(sim, "c");
+  ovs::OvsSwitch sw(sim, cpu, "br0");
+  ovs::OvsVsctl vsctl(sw);
+  EXPECT_THROW(vsctl.run("add-port br0 p0"), std::invalid_argument);  // no br
+  vsctl.run("add-br br0");
+  EXPECT_THROW(vsctl.run("add-br br0"), std::invalid_argument);
+  EXPECT_THROW(vsctl.run("add-port br0 ghostnic"), std::invalid_argument);
+  EXPECT_THROW(vsctl.run("add-port br0 x -- set Interface x type=warp"),
+               std::invalid_argument);
+  EXPECT_THROW(vsctl.run("delete-everything"), std::invalid_argument);
+  EXPECT_THROW(vsctl.ofport("nope"), std::invalid_argument);
+}
+
+class OvsMgmtTest : public ::testing::Test {
+ protected:
+  OvsMgmtTest() : cpu_(sim_, "sut"), sw_(sim_, cpu_, "ovs") {
+    sw_.add_port(std::make_unique<ring::RingPort>(
+        "p0", ring::PortKind::kInternal, 512));
+    sw_.add_port(std::make_unique<ring::RingPort>(
+        "p1", ring::PortKind::kInternal, 512));
+  }
+  void push() {
+    auto p = pool_.allocate();
+    pkt::craft_udp_frame(*p, pkt::FrameSpec{});
+    sw_.port(0).in().enqueue(std::move(p));
+  }
+  core::Simulator sim_;
+  hw::CpuCore cpu_;
+  pkt::PacketPool pool_{256};
+  ovs::OvsSwitch sw_;
+};
+
+TEST_F(OvsMgmtTest, RuleStatsCountCachedHits) {
+  ovs::OvsOfctl ofctl(sw_);
+  ofctl.run("add-flow br0 priority=10,in_port=1,actions=output:2");
+  sw_.start();
+  for (int i = 0; i < 5; ++i) push();
+  sim_.run();
+  const auto& rule = sw_.openflow().rules().front();
+  EXPECT_EQ(sw_.rule_packets(rule.id), 5u);  // 1 upcall + 4 EMC hits
+  const std::string dump = ofctl.dump_flows();
+  EXPECT_NE(dump.find("n_packets=5"), std::string::npos);
+  sw_.port(1).out().clear();
+}
+
+TEST_F(OvsMgmtTest, DelFlowsStopsForwardingImmediately) {
+  ovs::OvsOfctl ofctl(sw_);
+  ofctl.run("add-flow br0 priority=10,in_port=1,actions=output:2");
+  sw_.start();
+  push();
+  sim_.run();
+  ASSERT_EQ(sw_.port(1).out().size(), 1u);
+  ofctl.run("del-flows br0");
+  push();  // must NOT be forwarded by a stale EMC/megaflow entry
+  sim_.run();
+  EXPECT_EQ(sw_.port(1).out().size(), 1u);
+  EXPECT_EQ(sw_.stats().discards, 1u);
+  sw_.port(1).out().clear();
+}
+
+}  // namespace
+}  // namespace nfvsb::switches

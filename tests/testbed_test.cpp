@@ -1,0 +1,119 @@
+// Testbed topology and VM chain builder.
+#include <gtest/gtest.h>
+
+#include "hw/numa.h"
+#include "pkt/crafting.h"
+#include "pkt/packet_pool.h"
+#include "switches/vpp/vpp_switch.h"
+#include "vnf/chain.h"
+#include "vnf/vale_guest.h"
+
+namespace nfvsb {
+namespace {
+
+TEST(Testbed, TwoNodesTwoPortsEach) {
+  core::Simulator sim;
+  hw::Testbed bed(sim);
+  EXPECT_EQ(bed.node(0).nic_ports.size(), 2u);
+  EXPECT_EQ(bed.node(1).nic_ports.size(), 2u);
+  EXPECT_EQ(bed.node(0).cores.size(), 12u);  // default
+}
+
+TEST(Testbed, CrossNodeCabling) {
+  // Fig. 3: node 0 port p is wired to node 1 port p.
+  core::Simulator sim;
+  hw::Testbed bed(sim);
+  pkt::PacketPool pool(8);
+  for (int p = 0; p < 2; ++p) {
+    auto pkt = pool.allocate();
+    pkt::craft_udp_frame(*pkt, pkt::FrameSpec{});
+    bed.nic(1, p).tx_ring().enqueue(std::move(pkt));
+    sim.run();
+    EXPECT_EQ(bed.nic(0, p).rx_ring().size(), 1u) << p;
+    bed.nic(0, p).rx_ring().clear();
+  }
+}
+
+TEST(Testbed, CoreAllocationIsExclusive) {
+  core::Simulator sim;
+  hw::Testbed::Config cfg;
+  cfg.cores_per_node = 3;
+  hw::Testbed bed(sim, cfg);
+  auto& a = bed.take_core(0);
+  auto& b = bed.take_core(0);
+  auto& c = bed.take_core(1);
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(a.numa_node(), 0);
+  EXPECT_EQ(c.numa_node(), 1);
+}
+
+TEST(VmChain, BuildsPortsVmsAndVnfs) {
+  core::Simulator sim;
+  hw::Testbed::Config cfg;
+  cfg.cores_per_node = 24;
+  hw::Testbed bed(sim, cfg);
+  switches::vpp::VppSwitch sut(sim, bed.take_core(0), "sut");
+  sut.attach_nic(bed.nic(0, 0));
+  sut.attach_nic(bed.nic(0, 1));
+  vnf::VmChain chain(sim, bed, sut, 3);
+  EXPECT_EQ(chain.length(), 3);
+  // 2 NICs + 2 vhost ports per VM.
+  EXPECT_EQ(sut.num_ports(), 8u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(chain.hop(i).idx_a, 2u + 2u * static_cast<std::size_t>(i));
+    EXPECT_EQ(chain.hop(i).idx_b, 3u + 2u * static_cast<std::size_t>(i));
+    EXPECT_NE(chain.hop(i).port_a, nullptr);
+    EXPECT_EQ(chain.vm(i).vcpu_count(), 4u);  // QEMU -smp 4
+  }
+}
+
+TEST(VmChain, VnfsForwardAcrossTheirPorts) {
+  core::Simulator sim;
+  hw::Testbed::Config cfg;
+  cfg.cores_per_node = 24;
+  hw::Testbed bed(sim, cfg);
+  pkt::PacketPool pool(64);
+  switches::vpp::VppSwitch sut(sim, bed.take_core(0), "sut");
+  sut.attach_nic(bed.nic(0, 0));
+  sut.attach_nic(bed.nic(0, 1));
+  vnf::VmChain chain(sim, bed, sut, 1);
+  chain.start();
+  // Host writes 32 packets toward the VM via port A; the l2fwd VNF must
+  // move them to port B's guest->host direction.
+  for (int i = 0; i < 32; ++i) {
+    auto p = pool.allocate();
+    pkt::craft_udp_frame(*p, pkt::FrameSpec{});
+    chain.hop(0).port_a->out().enqueue(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(chain.hop(0).port_b->in().size(), 32u);
+  chain.hop(0).port_b->in().clear();
+}
+
+TEST(GuestVale, CrossConnectsPtnetPair) {
+  core::Simulator sim;
+  hw::CpuCore vcpu(sim, "vcpu");
+  pkt::PacketPool pool(16);
+  ring::PtnetPort a("a"), b("b");
+  vnf::GuestVale guest(sim, vcpu, "vm:vale", a, b);
+  guest.start();
+  auto p = pool.allocate();
+  pkt::craft_udp_frame(*p, pkt::FrameSpec{});
+  a.out().enqueue(std::move(p));  // host wrote toward the VM on a
+  sim.run();
+  // The guest VALE flooded it out the other ptnet device (b.in).
+  EXPECT_EQ(b.in().size(), 1u);
+  b.in().clear();
+}
+
+TEST(GuestVale, UsesOnlyVirtualWakeups) {
+  core::Simulator sim;
+  hw::CpuCore vcpu(sim, "vcpu");
+  ring::PtnetPort a("a"), b("b");
+  vnf::GuestVale guest(sim, vcpu, "vm:vale", a, b);
+  EXPECT_EQ(guest.vale().cost_model().wakeup_latency,
+            guest.vale().cost_model().wakeup_latency_virtual);
+}
+
+}  // namespace
+}  // namespace nfvsb

@@ -1,0 +1,181 @@
+// Traffic tools: MoonGen pacing/probes/flows, pkt-gen CPU-limited TX,
+// FloWatcher per-flow accounting.
+#include <gtest/gtest.h>
+
+#include "hw/cable.h"
+#include "hw/nic.h"
+#include "ring/netmap_port.h"
+#include "traffic/flowatcher.h"
+#include "traffic/moongen.h"
+#include "traffic/pktgen.h"
+
+namespace nfvsb::traffic {
+namespace {
+
+class MoonGenNicTest : public ::testing::Test {
+ protected:
+  MoonGenNicTest() : a_(sim_, "a"), b_(sim_, "b"), cable_(sim_, a_, b_) {}
+  core::Simulator sim_;
+  pkt::PacketPool pool_{1 << 12};
+  hw::NicPort a_;
+  hw::NicPort b_;
+  hw::Cable cable_;
+};
+
+TEST_F(MoonGenNicTest, PacedRateIsAccurate) {
+  MoonGen::Config cfg;
+  cfg.rate_pps = 2e6;
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  MoonGen::Config mon_cfg;
+  MoonGen mon(sim_, pool_, mon_cfg);
+  mon.attach_rx_nic(b_);
+  gen.start_tx(0, core::from_ms(5));
+  sim_.run();
+  mon.rx_meter().close(core::from_ms(5));
+  EXPECT_NEAR(mon.rx_meter().pps(), 2e6, 2e4);
+  EXPECT_EQ(gen.tx_failed(), 0u);
+}
+
+TEST_F(MoonGenNicTest, SaturationReachesLineRate) {
+  MoonGen::Config cfg;  // rate 0 = saturate
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  MoonGen mon(sim_, pool_, MoonGen::Config{});
+  mon.attach_rx_nic(b_);
+  gen.start_tx(0, core::from_ms(3));
+  sim_.run();
+  mon.rx_meter().close(core::from_ms(3));
+  EXPECT_NEAR(mon.rx_meter().gbps(), 10.0, 0.1);
+}
+
+TEST_F(MoonGenNicTest, ProbesAreTimestampedAndMeasured) {
+  MoonGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  cfg.probe_interval = core::from_us(100);
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  gen.attach_rx_nic(b_);  // direct wire: RTT = serialization + wire
+  gen.start_tx(0, core::from_ms(5));
+  sim_.run();
+  EXPECT_NEAR(static_cast<double>(gen.latency().samples()), 50.0, 5.0);
+  // Wire-to-wire: just the 5 ns propagation (stamps are at the MACs).
+  EXPECT_NEAR(gen.latency().mean_us(), 0.005, 0.002);
+}
+
+TEST_F(MoonGenNicTest, MultiFlowTrafficCyclesSourcePorts) {
+  MoonGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  cfg.num_flows = 8;
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  FloWatcher mon(sim_);
+  mon.attach_ring(b_.rx_ring());
+  gen.start_tx(0, core::from_ms(2));
+  sim_.run();
+  EXPECT_EQ(mon.flows().size(), 8u);
+  // Round-robin: flow counts within one packet of each other.
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& [k, v] : mon.flows()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST_F(MoonGenNicTest, MeterOpensAfterWarmup) {
+  MoonGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  MoonGen::Config mon_cfg;
+  mon_cfg.meter_open_at = core::from_ms(1);
+  MoonGen mon(sim_, pool_, mon_cfg);
+  mon.attach_rx_nic(b_);
+  gen.start_tx(0, core::from_ms(2));
+  sim_.run();
+  mon.rx_meter().close(core::from_ms(2));
+  EXPECT_NEAR(static_cast<double>(mon.rx_meter().packets()), 1000.0, 20.0);
+}
+
+TEST(PktGenTest, CpuLimitedRateFollowsPrepCost) {
+  core::Simulator sim;
+  pkt::PacketPool pool(1 << 12);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  PktGen::Config cfg;
+  cfg.prep_fixed_ns = 100;
+  cfg.prep_byte_ns = 0;
+  PktGen gen(sim, pool, cfg);
+  gen.attach_tx(guest);
+  host.in().set_sink([](pkt::PacketHandle) {});
+  gen.start_tx(0, core::from_ms(1));
+  sim.run();
+  // 100 ns/packet -> 10 Mpps -> ~10000 packets in 1 ms.
+  EXPECT_NEAR(static_cast<double>(gen.tx_sent()), 10000.0, 100.0);
+}
+
+TEST(PktGenTest, OptionalPacingCapApplies) {
+  core::Simulator sim;
+  pkt::PacketPool pool(1 << 12);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  PktGen::Config cfg;
+  cfg.prep_fixed_ns = 100;
+  cfg.rate_pps = 1e6;  // slower than the CPU limit
+  PktGen gen(sim, pool, cfg);
+  gen.attach_tx(guest);
+  host.in().set_sink([](pkt::PacketHandle) {});
+  gen.start_tx(0, core::from_ms(1));
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(gen.tx_sent()), 1000.0, 20.0);
+}
+
+TEST(PktGenTest, LargerFramesSlowTheGenerator) {
+  core::Simulator sim;
+  pkt::PacketPool pool(1 << 12);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  PktGen::Config small_cfg;
+  small_cfg.frame.frame_bytes = 64;
+  PktGen::Config big_cfg;
+  big_cfg.frame.frame_bytes = 1024;
+  PktGen small(sim, pool, small_cfg);
+  PktGen big(sim, pool, big_cfg);
+  host.in().set_sink([](pkt::PacketHandle) {});
+  small.attach_tx(guest);
+  small.start_tx(0, core::from_ms(1));
+  sim.run();
+  ring::PtnetPort host2("pt2");
+  ring::GuestPtnetPort guest2(host2);
+  host2.in().set_sink([](pkt::PacketHandle) {});
+  big.attach_tx(guest2);
+  big.start_tx(core::from_ms(1), core::from_ms(2));
+  sim.run();
+  EXPECT_GT(small.tx_sent(), big.tx_sent());
+}
+
+TEST(FloWatcherTest, CountsFlowsAndNonIp) {
+  core::Simulator sim;
+  pkt::PacketPool pool(16);
+  ring::SpscRing ring("r", 16);
+  FloWatcher mon(sim);
+  mon.attach_ring(ring);
+  for (int i = 0; i < 3; ++i) {
+    auto p = pool.allocate();
+    pkt::FrameSpec spec;
+    spec.src_port = static_cast<std::uint16_t>(1000 + (i % 2));
+    pkt::craft_udp_frame(*p, spec);
+    ring.enqueue(std::move(p));
+  }
+  auto arp = pool.allocate();
+  pkt::craft_udp_frame(*arp, pkt::FrameSpec{});
+  pkt::EthHeader(arp->bytes()).set_ether_type(pkt::kEtherTypeArp);
+  ring.enqueue(std::move(arp));
+  EXPECT_EQ(mon.flows().size(), 2u);
+  EXPECT_EQ(mon.non_ip_packets(), 1u);
+  EXPECT_EQ(mon.rx_meter().packets(), 4u);
+}
+
+}  // namespace
+}  // namespace nfvsb::traffic
