@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_burst"
+  "../bench/ablation_burst.pdb"
+  "CMakeFiles/ablation_burst.dir/ablation_burst.cpp.o"
+  "CMakeFiles/ablation_burst.dir/ablation_burst.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_containers"
+  "../bench/ablation_containers.pdb"
+  "CMakeFiles/ablation_containers.dir/ablation_containers.cpp.o"
+  "CMakeFiles/ablation_containers.dir/ablation_containers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

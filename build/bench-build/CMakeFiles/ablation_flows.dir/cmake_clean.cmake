@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_flows"
+  "../bench/ablation_flows.pdb"
+  "CMakeFiles/ablation_flows.dir/ablation_flows.cpp.o"
+  "CMakeFiles/ablation_flows.dir/ablation_flows.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multicore"
+  "../bench/ablation_multicore.pdb"
+  "CMakeFiles/ablation_multicore.dir/ablation_multicore.cpp.o"
+  "CMakeFiles/ablation_multicore.dir/ablation_multicore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

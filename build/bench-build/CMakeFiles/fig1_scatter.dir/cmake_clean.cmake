@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_scatter"
+  "../bench/fig1_scatter.pdb"
+  "CMakeFiles/fig1_scatter.dir/fig1_scatter.cpp.o"
+  "CMakeFiles/fig1_scatter.dir/fig1_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

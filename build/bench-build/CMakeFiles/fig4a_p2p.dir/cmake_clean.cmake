@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4a_p2p"
+  "../bench/fig4a_p2p.pdb"
+  "CMakeFiles/fig4a_p2p.dir/fig4a_p2p.cpp.o"
+  "CMakeFiles/fig4a_p2p.dir/fig4a_p2p.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

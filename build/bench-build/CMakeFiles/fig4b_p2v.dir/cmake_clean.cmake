@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4b_p2v"
+  "../bench/fig4b_p2v.pdb"
+  "CMakeFiles/fig4b_p2v.dir/fig4b_p2v.cpp.o"
+  "CMakeFiles/fig4b_p2v.dir/fig4b_p2v.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_p2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4c_v2v"
+  "../bench/fig4c_v2v.pdb"
+  "CMakeFiles/fig4c_v2v.dir/fig4c_v2v.cpp.o"
+  "CMakeFiles/fig4c_v2v.dir/fig4c_v2v.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_v2v.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

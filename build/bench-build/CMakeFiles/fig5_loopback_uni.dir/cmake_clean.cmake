@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_loopback_uni"
+  "../bench/fig5_loopback_uni.pdb"
+  "CMakeFiles/fig5_loopback_uni.dir/fig5_loopback_uni.cpp.o"
+  "CMakeFiles/fig5_loopback_uni.dir/fig5_loopback_uni.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_loopback_uni.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

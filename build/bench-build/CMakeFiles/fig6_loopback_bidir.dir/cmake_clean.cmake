@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_loopback_bidir"
+  "../bench/fig6_loopback_bidir.pdb"
+  "CMakeFiles/fig6_loopback_bidir.dir/fig6_loopback_bidir.cpp.o"
+  "CMakeFiles/fig6_loopback_bidir.dir/fig6_loopback_bidir.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_loopback_bidir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_loopback_bidir.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_datapath"
+  "../bench/micro_datapath.pdb"
+  "CMakeFiles/micro_datapath.dir/micro_datapath.cpp.o"
+  "CMakeFiles/micro_datapath.dir/micro_datapath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_taxonomy"
+  "../bench/table1_taxonomy.pdb"
+  "CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o"
+  "CMakeFiles/table1_taxonomy.dir/table1_taxonomy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_latency"
+  "../bench/table3_latency.pdb"
+  "CMakeFiles/table3_latency.dir/table3_latency.cpp.o"
+  "CMakeFiles/table3_latency.dir/table3_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

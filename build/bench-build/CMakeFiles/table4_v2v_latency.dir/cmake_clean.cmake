@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_v2v_latency"
+  "../bench/table4_v2v_latency.pdb"
+  "CMakeFiles/table4_v2v_latency.dir/table4_v2v_latency.cpp.o"
+  "CMakeFiles/table4_v2v_latency.dir/table4_v2v_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_v2v_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

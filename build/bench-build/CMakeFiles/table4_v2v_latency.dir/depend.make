@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_v2v_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/inspect_configs"
+  "../examples/inspect_configs.pdb"
+  "CMakeFiles/inspect_configs.dir/inspect_configs.cpp.o"
+  "CMakeFiles/inspect_configs.dir/inspect_configs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

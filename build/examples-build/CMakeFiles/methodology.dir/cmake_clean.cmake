@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/methodology"
+  "../examples/methodology.pdb"
+  "CMakeFiles/methodology.dir/methodology.cpp.o"
+  "CMakeFiles/methodology.dir/methodology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/methodology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sdn_rules"
+  "../examples/sdn_rules.pdb"
+  "CMakeFiles/sdn_rules.dir/sdn_rules.cpp.o"
+  "CMakeFiles/sdn_rules.dir/sdn_rules.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdn_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event_queue.cpp" "src/CMakeFiles/nfvsb.dir/core/event_queue.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/core/event_queue.cpp.o.d"
+  "/root/repo/src/core/rng.cpp" "src/CMakeFiles/nfvsb.dir/core/rng.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/core/rng.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/nfvsb.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/hw/cable.cpp" "src/CMakeFiles/nfvsb.dir/hw/cable.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/hw/cable.cpp.o.d"
+  "/root/repo/src/hw/cpu_core.cpp" "src/CMakeFiles/nfvsb.dir/hw/cpu_core.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/hw/cpu_core.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/CMakeFiles/nfvsb.dir/hw/nic.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/hw/nic.cpp.o.d"
+  "/root/repo/src/hw/numa.cpp" "src/CMakeFiles/nfvsb.dir/hw/numa.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/hw/numa.cpp.o.d"
+  "/root/repo/src/pkt/checksum.cpp" "src/CMakeFiles/nfvsb.dir/pkt/checksum.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/pkt/checksum.cpp.o.d"
+  "/root/repo/src/pkt/crafting.cpp" "src/CMakeFiles/nfvsb.dir/pkt/crafting.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/pkt/crafting.cpp.o.d"
+  "/root/repo/src/pkt/headers.cpp" "src/CMakeFiles/nfvsb.dir/pkt/headers.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/pkt/headers.cpp.o.d"
+  "/root/repo/src/pkt/packet.cpp" "src/CMakeFiles/nfvsb.dir/pkt/packet.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/pkt/packet.cpp.o.d"
+  "/root/repo/src/pkt/packet_pool.cpp" "src/CMakeFiles/nfvsb.dir/pkt/packet_pool.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/pkt/packet_pool.cpp.o.d"
+  "/root/repo/src/ring/port.cpp" "src/CMakeFiles/nfvsb.dir/ring/port.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/ring/port.cpp.o.d"
+  "/root/repo/src/ring/spsc_ring.cpp" "src/CMakeFiles/nfvsb.dir/ring/spsc_ring.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/ring/spsc_ring.cpp.o.d"
+  "/root/repo/src/scenario/loopback.cpp" "src/CMakeFiles/nfvsb.dir/scenario/loopback.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/loopback.cpp.o.d"
+  "/root/repo/src/scenario/p2p.cpp" "src/CMakeFiles/nfvsb.dir/scenario/p2p.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/p2p.cpp.o.d"
+  "/root/repo/src/scenario/p2v.cpp" "src/CMakeFiles/nfvsb.dir/scenario/p2v.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/p2v.cpp.o.d"
+  "/root/repo/src/scenario/report.cpp" "src/CMakeFiles/nfvsb.dir/scenario/report.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/report.cpp.o.d"
+  "/root/repo/src/scenario/runner.cpp" "src/CMakeFiles/nfvsb.dir/scenario/runner.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/runner.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "src/CMakeFiles/nfvsb.dir/scenario/scenario.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/scenario.cpp.o.d"
+  "/root/repo/src/scenario/v2v.cpp" "src/CMakeFiles/nfvsb.dir/scenario/v2v.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/scenario/v2v.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/nfvsb.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/switches/bess/bess_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/bess/bess_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/bess/bess_switch.cpp.o.d"
+  "/root/repo/src/switches/bess/bessctl.cpp" "src/CMakeFiles/nfvsb.dir/switches/bess/bessctl.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/bess/bessctl.cpp.o.d"
+  "/root/repo/src/switches/bess/module.cpp" "src/CMakeFiles/nfvsb.dir/switches/bess/module.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/bess/module.cpp.o.d"
+  "/root/repo/src/switches/bess/modules.cpp" "src/CMakeFiles/nfvsb.dir/switches/bess/modules.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/bess/modules.cpp.o.d"
+  "/root/repo/src/switches/cost_model.cpp" "src/CMakeFiles/nfvsb.dir/switches/cost_model.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/cost_model.cpp.o.d"
+  "/root/repo/src/switches/fastclick/config_parser.cpp" "src/CMakeFiles/nfvsb.dir/switches/fastclick/config_parser.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/fastclick/config_parser.cpp.o.d"
+  "/root/repo/src/switches/fastclick/element.cpp" "src/CMakeFiles/nfvsb.dir/switches/fastclick/element.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/fastclick/element.cpp.o.d"
+  "/root/repo/src/switches/fastclick/elements.cpp" "src/CMakeFiles/nfvsb.dir/switches/fastclick/elements.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/fastclick/elements.cpp.o.d"
+  "/root/repo/src/switches/fastclick/fastclick_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/fastclick/fastclick_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/fastclick/fastclick_switch.cpp.o.d"
+  "/root/repo/src/switches/ovs/emc.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/emc.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/emc.cpp.o.d"
+  "/root/repo/src/switches/ovs/flow.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/flow.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/flow.cpp.o.d"
+  "/root/repo/src/switches/ovs/megaflow.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/megaflow.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/megaflow.cpp.o.d"
+  "/root/repo/src/switches/ovs/openflow_table.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/openflow_table.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/openflow_table.cpp.o.d"
+  "/root/repo/src/switches/ovs/ovs_ctl.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_ctl.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_ctl.cpp.o.d"
+  "/root/repo/src/switches/ovs/ovs_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_switch.cpp.o.d"
+  "/root/repo/src/switches/ovs/ovs_vsctl.cpp" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_vsctl.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/ovs/ovs_vsctl.cpp.o.d"
+  "/root/repo/src/switches/registry.cpp" "src/CMakeFiles/nfvsb.dir/switches/registry.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/registry.cpp.o.d"
+  "/root/repo/src/switches/snabb/apps.cpp" "src/CMakeFiles/nfvsb.dir/switches/snabb/apps.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/snabb/apps.cpp.o.d"
+  "/root/repo/src/switches/snabb/engine.cpp" "src/CMakeFiles/nfvsb.dir/switches/snabb/engine.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/snabb/engine.cpp.o.d"
+  "/root/repo/src/switches/snabb/luajit_model.cpp" "src/CMakeFiles/nfvsb.dir/switches/snabb/luajit_model.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/snabb/luajit_model.cpp.o.d"
+  "/root/repo/src/switches/snabb/snabb_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/snabb/snabb_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/snabb/snabb_switch.cpp.o.d"
+  "/root/repo/src/switches/switch_base.cpp" "src/CMakeFiles/nfvsb.dir/switches/switch_base.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/switch_base.cpp.o.d"
+  "/root/repo/src/switches/t4p4s/p4_pipeline.cpp" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/p4_pipeline.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/p4_pipeline.cpp.o.d"
+  "/root/repo/src/switches/t4p4s/t4p4s_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/t4p4s_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/t4p4s_switch.cpp.o.d"
+  "/root/repo/src/switches/t4p4s/tables.cpp" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/tables.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/t4p4s/tables.cpp.o.d"
+  "/root/repo/src/switches/vale/mac_table.cpp" "src/CMakeFiles/nfvsb.dir/switches/vale/mac_table.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vale/mac_table.cpp.o.d"
+  "/root/repo/src/switches/vale/vale_ctl.cpp" "src/CMakeFiles/nfvsb.dir/switches/vale/vale_ctl.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vale/vale_ctl.cpp.o.d"
+  "/root/repo/src/switches/vale/vale_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/vale/vale_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vale/vale_switch.cpp.o.d"
+  "/root/repo/src/switches/vpp/cli.cpp" "src/CMakeFiles/nfvsb.dir/switches/vpp/cli.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vpp/cli.cpp.o.d"
+  "/root/repo/src/switches/vpp/graph.cpp" "src/CMakeFiles/nfvsb.dir/switches/vpp/graph.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vpp/graph.cpp.o.d"
+  "/root/repo/src/switches/vpp/nodes.cpp" "src/CMakeFiles/nfvsb.dir/switches/vpp/nodes.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vpp/nodes.cpp.o.d"
+  "/root/repo/src/switches/vpp/vpp_switch.cpp" "src/CMakeFiles/nfvsb.dir/switches/vpp/vpp_switch.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/switches/vpp/vpp_switch.cpp.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cpp" "src/CMakeFiles/nfvsb.dir/taxonomy/taxonomy.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/taxonomy/taxonomy.cpp.o.d"
+  "/root/repo/src/traffic/flowatcher.cpp" "src/CMakeFiles/nfvsb.dir/traffic/flowatcher.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/traffic/flowatcher.cpp.o.d"
+  "/root/repo/src/traffic/moongen.cpp" "src/CMakeFiles/nfvsb.dir/traffic/moongen.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/traffic/moongen.cpp.o.d"
+  "/root/repo/src/traffic/pcap_writer.cpp" "src/CMakeFiles/nfvsb.dir/traffic/pcap_writer.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/traffic/pcap_writer.cpp.o.d"
+  "/root/repo/src/traffic/pktgen.cpp" "src/CMakeFiles/nfvsb.dir/traffic/pktgen.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/traffic/pktgen.cpp.o.d"
+  "/root/repo/src/vnf/chain.cpp" "src/CMakeFiles/nfvsb.dir/vnf/chain.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/vnf/chain.cpp.o.d"
+  "/root/repo/src/vnf/l2fwd.cpp" "src/CMakeFiles/nfvsb.dir/vnf/l2fwd.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/vnf/l2fwd.cpp.o.d"
+  "/root/repo/src/vnf/vale_guest.cpp" "src/CMakeFiles/nfvsb.dir/vnf/vale_guest.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/vnf/vale_guest.cpp.o.d"
+  "/root/repo/src/vnf/vm.cpp" "src/CMakeFiles/nfvsb.dir/vnf/vm.cpp.o" "gcc" "src/CMakeFiles/nfvsb.dir/vnf/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

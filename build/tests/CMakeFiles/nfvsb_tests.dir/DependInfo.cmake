@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bess_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/bess_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/bess_test.cpp.o.d"
+  "/root/repo/tests/calibration_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/calibration_test.cpp.o.d"
+  "/root/repo/tests/conservation_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/conservation_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/conservation_test.cpp.o.d"
+  "/root/repo/tests/core_time_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/core_time_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/core_time_test.cpp.o.d"
+  "/root/repo/tests/cpu_core_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/cpu_core_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/cpu_core_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/fastclick_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/fastclick_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/fastclick_test.cpp.o.d"
+  "/root/repo/tests/headers_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/headers_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/headers_test.cpp.o.d"
+  "/root/repo/tests/l2fwd_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/l2fwd_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/l2fwd_test.cpp.o.d"
+  "/root/repo/tests/mac_table_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/mac_table_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/mac_table_test.cpp.o.d"
+  "/root/repo/tests/multiqueue_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/multiqueue_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/multiqueue_test.cpp.o.d"
+  "/root/repo/tests/nic_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/nic_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/nic_test.cpp.o.d"
+  "/root/repo/tests/ovs_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/ovs_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/ovs_test.cpp.o.d"
+  "/root/repo/tests/packet_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/packet_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/packet_test.cpp.o.d"
+  "/root/repo/tests/parser_robustness_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/parser_robustness_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/parser_robustness_test.cpp.o.d"
+  "/root/repo/tests/pcap_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/pcap_test.cpp.o.d"
+  "/root/repo/tests/properties_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/properties_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/properties_test.cpp.o.d"
+  "/root/repo/tests/ring_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/ring_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/ring_test.cpp.o.d"
+  "/root/repo/tests/rng_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/rng_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/rng_test.cpp.o.d"
+  "/root/repo/tests/scenario_hooks_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/scenario_hooks_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/scenario_hooks_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/snabb_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/snabb_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/snabb_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/switch_base_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/switch_base_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/switch_base_test.cpp.o.d"
+  "/root/repo/tests/switch_extensions_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/switch_extensions_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/switch_extensions_test.cpp.o.d"
+  "/root/repo/tests/switch_features_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/switch_features_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/switch_features_test.cpp.o.d"
+  "/root/repo/tests/t4p4s_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/t4p4s_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/t4p4s_test.cpp.o.d"
+  "/root/repo/tests/taxonomy_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/taxonomy_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/taxonomy_test.cpp.o.d"
+  "/root/repo/tests/testbed_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/testbed_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/testbed_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/vale_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/vale_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/vale_test.cpp.o.d"
+  "/root/repo/tests/vpp_test.cpp" "tests/CMakeFiles/nfvsb_tests.dir/vpp_test.cpp.o" "gcc" "tests/CMakeFiles/nfvsb_tests.dir/vpp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nfvsb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
