@@ -1,9 +1,29 @@
 // Shared helpers for the figure/table benches.
+//
+// Every bench binary is now a campaign declaration plus a formatter: it
+// builds a campaign::Campaign describing its grid of scenario points, fans
+// it out over the CampaignRunner's worker threads, saves the raw results
+// as JSON, and renders the same text tables as before from the ResultSet.
+//
+// Environment knobs (shared by all binaries):
+//   NFVSB_THREADS      worker threads (default: hardware concurrency)
+//   NFVSB_SEED         campaign seed (default 0x5eed); per-point seeds are
+//                      derived as splitmix(seed, point index)
+//   NFVSB_RESULTS_DIR  where <campaign>.json files land
+//                      (default "campaign-results")
+//   NFVSB_CACHE_DIR    result cache; set to "" to disable
+//                      (default "<results dir>/cache")
+//   NFVSB_VERBOSE      non-empty: per-point progress on stderr
 #pragma once
 
+#include <array>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
 #include "scenario/report.h"
 #include "scenario/runner.h"
 #include "scenario/scenario.h"
@@ -13,36 +33,97 @@ namespace nfvsb::bench {
 inline constexpr std::array<std::uint32_t, 3> kPaperFrameSizes = {64, 256,
                                                                   1024};
 
-/// One throughput table (rows = switches, cols = frame sizes) for a given
-/// scenario kind and direction, shaped like one panel of Fig. 4/5/6.
-inline void print_throughput_panel(const char* title, scenario::Kind kind,
-                                   bool bidirectional, int chain_length = 1) {
-  std::printf("-- %s --\n", title);
+inline std::string results_dir() {
+  const char* d = std::getenv("NFVSB_RESULTS_DIR");
+  return (d && *d) ? d : "campaign-results";
+}
+
+inline std::uint64_t campaign_seed() {
+  if (const char* s = std::getenv("NFVSB_SEED")) {
+    return std::strtoull(s, nullptr, 0);
+  }
+  return campaign::kDefaultSeed;
+}
+
+inline campaign::RunnerOptions runner_options() {
+  campaign::RunnerOptions o;
+  if (const char* t = std::getenv("NFVSB_THREADS")) o.threads = std::atoi(t);
+  if (const char* c = std::getenv("NFVSB_CACHE_DIR")) {
+    o.cache_dir = c;  // "" disables caching
+  } else {
+    o.cache_dir = results_dir() + "/cache";
+  }
+  const char* v = std::getenv("NFVSB_VERBOSE");
+  o.verbose = v && *v;
+  return o;
+}
+
+/// Run `c` with the environment-configured runner and persist the raw
+/// results to <results dir>/<campaign name>.json.
+inline campaign::ResultSet run_and_save(const campaign::Campaign& c) {
+  campaign::CampaignRunner runner(runner_options());
+  campaign::ResultSet rs = runner.run(c);
+  const std::string path = results_dir() + "/" + c.name() + ".json";
+  if (!campaign::write_results_json(path, c, rs)) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+  }
+  return rs;
+}
+
+// ---- the Fig. 4/5/6-style throughput panel -------------------------------
+
+/// One panel of Fig. 4: rows = switches, columns = frame sizes.
+struct ThroughputPanel {
+  const char* title;
+  scenario::Kind kind;
+  bool bidirectional;
+  int chain_length{1};
+};
+
+inline std::string panel_label(const ThroughputPanel& p,
+                               switches::SwitchType sw, std::uint32_t frame) {
+  return std::string(scenario::to_string(p.kind)) +
+         (p.bidirectional ? "/bidi/" : "/uni/") + switches::to_string(sw) +
+         "/" + std::to_string(frame) + "B";
+}
+
+/// Declare the panel's switch x frame grid as campaign points.
+inline void add_throughput_panel(campaign::Campaign& c,
+                                 const ThroughputPanel& p) {
+  for (auto sw : switches::kAllSwitches) {
+    for (auto size : kPaperFrameSizes) {
+      scenario::ScenarioConfig cfg;
+      cfg.kind = p.kind;
+      cfg.sut = sw;
+      cfg.frame_bytes = size;
+      cfg.bidirectional = p.bidirectional;
+      cfg.chain_length = p.chain_length;
+      c.add(panel_label(p, sw, size), cfg);
+    }
+  }
+}
+
+/// Render the panel from the finished campaign.
+inline void print_throughput_panel(const campaign::ResultSet& rs,
+                                   const ThroughputPanel& p) {
+  std::printf("-- %s --\n", p.title);
   scenario::TextTable table({"Switch", "64B Gbps", "256B Gbps", "1024B Gbps",
                              "64B Mpps", "wasted", "imissed"});
   for (auto sw : switches::kAllSwitches) {
     std::vector<std::string> row{switches::to_string(sw)};
-    std::vector<std::string> extra;
     double mpps64 = 0;
     std::uint64_t wasted = 0, imissed = 0;
     bool skipped = false;
     for (auto size : kPaperFrameSizes) {
-      scenario::ScenarioConfig cfg;
-      cfg.kind = kind;
-      cfg.sut = sw;
-      cfg.frame_bytes = size;
-      cfg.bidirectional = bidirectional;
-      cfg.chain_length = chain_length;
-      const auto r = scenario::run_scenario(cfg);
+      const auto& r = rs.at(panel_label(p, sw, size));
       if (r.skipped) {
         skipped = true;
         row.push_back("-");
         continue;
       }
-      const double gbps = bidirectional ? r.gbps_total() : r.fwd.gbps;
-      row.push_back(scenario::fmt(gbps));
+      row.push_back(scenario::fmt(scenario::panel_gbps(r, p.bidirectional)));
       if (size == 64) {
-        mpps64 = bidirectional ? r.mpps_total() : r.fwd.mpps;
+        mpps64 = scenario::panel_mpps(r, p.bidirectional);
         wasted = r.sut_wasted_work;
         imissed = r.nic_imissed;
       }

@@ -2,35 +2,60 @@
 // 64 B frames, latency measured at an offered load of 0.95 x the measured
 // maximum throughput.
 //
+// Two chained campaigns: "fig1-sat" measures each switch's max throughput
+// under saturation (all switches in parallel); "fig1-lat" replays each at
+// 95% of its own max with PTP probes. Raw results land in
+// <results dir>/fig1-{sat,lat}.json.
+//
 // Left panel: throughput vs mean latency (negatively correlated in the
 // paper). Right panel: mean vs standard deviation of latency (no visible
 // pattern). Printed here as the underlying table, one row per switch.
-#include <cstdio>
-
 #include "bench_util.h"
+
+namespace {
+
+std::string label(nfvsb::switches::SwitchType sw) {
+  return std::string("p2p/bidi/") + nfvsb::switches::to_string(sw) + "/64B";
+}
+
+nfvsb::scenario::ScenarioConfig base_config(nfvsb::switches::SwitchType sw) {
+  nfvsb::scenario::ScenarioConfig cfg;
+  cfg.kind = nfvsb::scenario::Kind::kP2p;
+  cfg.sut = sw;
+  cfg.frame_bytes = 64;
+  cfg.bidirectional = true;
+  return cfg;
+}
+
+}  // namespace
 
 int main() {
   using namespace nfvsb;
+
+  // Phase 1: max bidirectional throughput under saturation.
+  campaign::Campaign sat("fig1-sat", bench::campaign_seed());
+  for (auto sw : switches::kAllSwitches) sat.add(label(sw), base_config(sw));
+  const auto sat_rs = bench::run_and_save(sat);
+
+  // Phase 2: replay at 95% of each switch's own max (per direction),
+  // probes on. The rate depends on phase 1, hence the separate campaign.
+  campaign::Campaign lat("fig1-lat", bench::campaign_seed());
+  for (auto sw : switches::kAllSwitches) {
+    const auto& s = sat_rs.at(label(sw));
+    auto cfg = base_config(sw);
+    cfg.rate_pps = 0.95 * (s.fwd.mpps + s.rev.mpps) * 1e6 / 2.0;
+    cfg.probe_interval = core::from_us(40);
+    lat.add(label(sw), cfg);
+  }
+  const auto lat_rs = bench::run_and_save(lat);
+
   std::puts("== Fig. 1: p2p bidirectional 64 B, latency at 0.95 x max ==");
   scenario::TextTable t({"Switch", "tput Gbps", "mean us", "stddev us",
                          "median us", "p99 us"});
   for (auto sw : switches::kAllSwitches) {
-    scenario::ScenarioConfig cfg;
-    cfg.kind = scenario::Kind::kP2p;
-    cfg.sut = sw;
-    cfg.frame_bytes = 64;
-    cfg.bidirectional = true;
-
-    // Max bidirectional throughput under saturation.
-    const auto sat = scenario::run_scenario(cfg);
-    const double max_pps = (sat.fwd.mpps + sat.rev.mpps) * 1e6;
-
-    // Replay at 95% of max (per direction), probes on.
-    cfg.rate_pps = 0.95 * max_pps / 2.0;
-    cfg.probe_interval = core::from_us(40);
-    const auto r = scenario::run_scenario(cfg);
-
-    t.add_row({switches::to_string(sw), scenario::fmt(sat.gbps_total()),
+    const auto& s = sat_rs.at(label(sw));
+    const auto& r = lat_rs.at(label(sw));
+    t.add_row({switches::to_string(sw), scenario::fmt(s.gbps_total()),
                scenario::fmt(r.lat_avg_us, 1), scenario::fmt(r.lat_std_us, 1),
                scenario::fmt(r.lat_median_us, 1),
                scenario::fmt(r.lat_p99_us, 1)});

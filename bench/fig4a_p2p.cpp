@@ -1,5 +1,7 @@
 // Regenerates Fig. 4a: p2p throughput, unidirectional and bidirectional,
-// for 64/256/1024 B frames across all seven switches.
+// for 64/256/1024 B frames across all seven switches. The whole grid is
+// one campaign fanned out over the runner's worker threads; raw results
+// land in <results dir>/fig4a.json.
 //
 // Paper reference points (Gbps, 64 B): uni — BESS/FastClick/VPP ~10 (line
 // rate), Snabb 8.9, OvS-DPDK 8.05, VALE 5.56, t4p4s ~5.6; bidi — BESS 16,
@@ -8,10 +10,18 @@
 
 int main() {
   using namespace nfvsb;
+  const bench::ThroughputPanel uni{"unidirectional", scenario::Kind::kP2p,
+                                   false};
+  const bench::ThroughputPanel bidi{"bidirectional (aggregate)",
+                                    scenario::Kind::kP2p, true};
+
+  campaign::Campaign c("fig4a", bench::campaign_seed());
+  bench::add_throughput_panel(c, uni);
+  bench::add_throughput_panel(c, bidi);
+  const auto rs = bench::run_and_save(c);
+
   std::puts("== Fig. 4a: p2p throughput ==");
-  bench::print_throughput_panel("unidirectional", scenario::Kind::kP2p,
-                                false);
-  bench::print_throughput_panel("bidirectional (aggregate)",
-                                scenario::Kind::kP2p, true);
+  bench::print_throughput_panel(rs, uni);
+  bench::print_throughput_panel(rs, bidi);
   return 0;
 }

@@ -1,5 +1,7 @@
 // Regenerates Fig. 4b: p2v throughput (NIC <-> VM through the SUT),
-// unidirectional and bidirectional, 64/256/1024 B.
+// unidirectional and bidirectional, 64/256/1024 B, plus the paper's
+// diagnostic reversed probe (VM -> NIC) — one campaign, parallel points,
+// raw results in <results dir>/fig4b.json.
 //
 // Paper reference points (64 B uni, Gbps): BESS 10 (line), VPP 6.9,
 // FastClick/OvS/Snabb 5-7, VALE 5.77 (ptnet), t4p4s 4.04. Bidirectional
@@ -7,24 +9,42 @@
 // path is slower (the paper's "reversed" probe measured 5.59 uni).
 #include "bench_util.h"
 
+namespace {
+
+std::string rev_label(nfvsb::switches::SwitchType sw) {
+  return std::string("p2v/rev/") + nfvsb::switches::to_string(sw) + "/64B";
+}
+
+}  // namespace
+
 int main() {
   using namespace nfvsb;
-  std::puts("== Fig. 4b: p2v throughput ==");
-  bench::print_throughput_panel("unidirectional (NIC -> VM)",
-                                scenario::Kind::kP2v, false);
-  bench::print_throughput_panel("bidirectional (aggregate)",
-                                scenario::Kind::kP2v, true);
+  const bench::ThroughputPanel uni{"unidirectional (NIC -> VM)",
+                                   scenario::Kind::kP2v, false};
+  const bench::ThroughputPanel bidi{"bidirectional (aggregate)",
+                                    scenario::Kind::kP2v, true};
 
-  // The paper's diagnostic probe: reversed unidirectional VPP (VM -> NIC).
-  std::puts("-- reversed unidirectional (VM -> NIC), 64 B --");
-  scenario::TextTable t({"Switch", "Gbps", "Mpps"});
+  campaign::Campaign c("fig4b", bench::campaign_seed());
+  bench::add_throughput_panel(c, uni);
+  bench::add_throughput_panel(c, bidi);
   for (auto sw : switches::kAllSwitches) {
     scenario::ScenarioConfig cfg;
     cfg.kind = scenario::Kind::kP2v;
     cfg.sut = sw;
     cfg.frame_bytes = 64;
     cfg.reverse = true;
-    const auto r = scenario::run_scenario(cfg);
+    c.add(rev_label(sw), cfg);
+  }
+  const auto rs = bench::run_and_save(c);
+
+  std::puts("== Fig. 4b: p2v throughput ==");
+  bench::print_throughput_panel(rs, uni);
+  bench::print_throughput_panel(rs, bidi);
+
+  std::puts("-- reversed unidirectional (VM -> NIC), 64 B --");
+  scenario::TextTable t({"Switch", "Gbps", "Mpps"});
+  for (auto sw : switches::kAllSwitches) {
+    const auto& r = rs.at(rev_label(sw));
     t.add_row({switches::to_string(sw), scenario::fmt(r.fwd.gbps),
                scenario::fmt(r.fwd.mpps)});
   }

@@ -1,5 +1,6 @@
 // Regenerates Fig. 4c: v2v throughput (VM -> SUT -> VM), unidirectional
-// and bidirectional, 64/256/1024 B.
+// and bidirectional, 64/256/1024 B — one campaign, parallel points, raw
+// results in <results dir>/fig4c.json.
 //
 // Paper reference points (64 B uni, Gbps): VALE 10.50 (ptnet zero copy,
 // pkt-gen uncapped), others < 7.4; Snabb 6.42 (beats its own p2v). At
@@ -11,10 +12,18 @@
 
 int main() {
   using namespace nfvsb;
+  const bench::ThroughputPanel uni{"unidirectional", scenario::Kind::kV2v,
+                                   false};
+  const bench::ThroughputPanel bidi{"bidirectional (aggregate)",
+                                    scenario::Kind::kV2v, true};
+
+  campaign::Campaign c("fig4c", bench::campaign_seed());
+  bench::add_throughput_panel(c, uni);
+  bench::add_throughput_panel(c, bidi);
+  const auto rs = bench::run_and_save(c);
+
   std::puts("== Fig. 4c: v2v throughput ==");
-  bench::print_throughput_panel("unidirectional", scenario::Kind::kV2v,
-                                false);
-  bench::print_throughput_panel("bidirectional (aggregate)",
-                                scenario::Kind::kV2v, true);
+  bench::print_throughput_panel(rs, uni);
+  bench::print_throughput_panel(rs, bidi);
   return 0;
 }

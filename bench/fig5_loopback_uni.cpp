@@ -1,38 +1,17 @@
 // Regenerates Fig. 5: loopback unidirectional throughput for service
-// chains of 1..5 VNFs, one panel per frame size (64/256/1024 B).
+// chains of 1..5 VNFs, one panel per frame size (64/256/1024 B) — the
+// whole switch x frame x chain grid is one campaign, raw results in
+// <results dir>/fig5.json.
 //
 // Paper reference shape: BESS leads at 1 VNF; VALE overtakes from 2 VNFs
 // (ptnet amortizes its copies while vhost switches pay per hop); VALE
 // holds line rate at 1024 B regardless of chain length; Snabb collapses
 // past 3 VNFs (single-core overload + wasted work); BESS rows stop at
 // 3 VNFs (QEMU incompatibility, footnote 5).
-#include "bench_util.h"
+#include "loopback_figure.h"
 
 int main() {
-  using namespace nfvsb;
-  std::puts("== Fig. 5: loopback throughput, unidirectional ==");
-  for (auto size : bench::kPaperFrameSizes) {
-    std::printf("-- %u B frames --\n", size);
-    scenario::TextTable t({"Switch", "1 VNF", "2 VNF", "3 VNF", "4 VNF",
-                           "5 VNF", "wasted@3"});
-    for (auto sw : switches::kAllSwitches) {
-      std::vector<std::string> row{switches::to_string(sw)};
-      std::uint64_t wasted3 = 0;
-      for (int n = 1; n <= 5; ++n) {
-        scenario::ScenarioConfig cfg;
-        cfg.kind = scenario::Kind::kLoopback;
-        cfg.sut = sw;
-        cfg.frame_bytes = size;
-        cfg.chain_length = n;
-        const auto r = scenario::run_scenario(cfg);
-        row.push_back(r.skipped ? "-" : scenario::fmt(r.fwd.gbps));
-        if (n == 3 && !r.skipped) wasted3 = r.sut_wasted_work;
-      }
-      row.push_back(std::to_string(wasted3));
-      t.add_row(std::move(row));
-    }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("");
-  }
+  nfvsb::bench::run_loopback_figure(
+      "fig5", "Fig. 5: loopback throughput, unidirectional", false, true);
   return 0;
 }

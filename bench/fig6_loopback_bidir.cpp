@@ -1,34 +1,15 @@
 // Regenerates Fig. 6: loopback bidirectional throughput (aggregate) for
-// chains of 1..5 VNFs, per frame size.
+// chains of 1..5 VNFs, per frame size — one campaign, parallel points,
+// raw results in <results dir>/fig6.json.
 //
 // Paper reference shape: every switch loses throughput vs Fig. 5 (copies
 // double); VALE's advantage shrinks and its 1024 B curve starts dropping
 // beyond 2 VNFs (doubled port-to-port copy bandwidth).
-#include "bench_util.h"
+#include "loopback_figure.h"
 
 int main() {
-  using namespace nfvsb;
-  std::puts("== Fig. 6: loopback throughput, bidirectional aggregate ==");
-  for (auto size : bench::kPaperFrameSizes) {
-    std::printf("-- %u B frames --\n", size);
-    scenario::TextTable t(
-        {"Switch", "1 VNF", "2 VNF", "3 VNF", "4 VNF", "5 VNF"});
-    for (auto sw : switches::kAllSwitches) {
-      std::vector<std::string> row{switches::to_string(sw)};
-      for (int n = 1; n <= 5; ++n) {
-        scenario::ScenarioConfig cfg;
-        cfg.kind = scenario::Kind::kLoopback;
-        cfg.sut = sw;
-        cfg.frame_bytes = size;
-        cfg.chain_length = n;
-        cfg.bidirectional = true;
-        const auto r = scenario::run_scenario(cfg);
-        row.push_back(r.skipped ? "-" : scenario::fmt(r.gbps_total()));
-      }
-      t.add_row(std::move(row));
-    }
-    std::fputs(t.to_string().c_str(), stdout);
-    std::puts("");
-  }
+  nfvsb::bench::run_loopback_figure(
+      "fig6", "Fig. 6: loopback throughput, bidirectional aggregate", true,
+      false);
   return 0;
 }

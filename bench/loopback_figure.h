@@ -1,0 +1,60 @@
+// Shared campaign declaration + formatter for the two loopback figures
+// (Fig. 5 unidirectional, Fig. 6 bidirectional): switch x frame size x
+// chain length (1..5), printed as one per-frame-size panel with chain
+// length as the column axis.
+#pragma once
+
+#include "bench_util.h"
+
+namespace nfvsb::bench {
+
+inline std::string loopback_label(switches::SwitchType sw,
+                                  std::uint32_t frame, int n, bool bidir) {
+  return std::string("loopback/") + (bidir ? "bidi/" : "uni/") +
+         switches::to_string(sw) + "/" + std::to_string(frame) + "B/" +
+         std::to_string(n) + "vnf";
+}
+
+inline void run_loopback_figure(const char* campaign_name, const char* title,
+                                bool bidir, bool wasted_col) {
+  campaign::Campaign c(campaign_name, campaign_seed());
+  for (auto sw : switches::kAllSwitches) {
+    for (auto size : kPaperFrameSizes) {
+      for (int n = 1; n <= 5; ++n) {
+        scenario::ScenarioConfig cfg;
+        cfg.kind = scenario::Kind::kLoopback;
+        cfg.sut = sw;
+        cfg.frame_bytes = size;
+        cfg.chain_length = n;
+        cfg.bidirectional = bidir;
+        c.add(loopback_label(sw, size, n, bidir), cfg);
+      }
+    }
+  }
+  const auto rs = run_and_save(c);
+
+  std::printf("== %s ==\n", title);
+  for (auto size : kPaperFrameSizes) {
+    std::printf("-- %u B frames --\n", size);
+    std::vector<std::string> headers{"Switch", "1 VNF", "2 VNF", "3 VNF",
+                                     "4 VNF", "5 VNF"};
+    if (wasted_col) headers.push_back("wasted@3");
+    scenario::TextTable t(std::move(headers));
+    for (auto sw : switches::kAllSwitches) {
+      std::vector<std::string> row{switches::to_string(sw)};
+      std::uint64_t wasted3 = 0;
+      for (int n = 1; n <= 5; ++n) {
+        const auto& r = rs.at(loopback_label(sw, size, n, bidir));
+        row.push_back(
+            r.skipped ? "-" : scenario::fmt(scenario::panel_gbps(r, bidir)));
+        if (n == 3 && !r.skipped) wasted3 = r.sut_wasted_work;
+      }
+      if (wasted_col) row.push_back(std::to_string(wasted3));
+      t.add_row(std::move(row));
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+    std::puts("");
+  }
+}
+
+}  // namespace nfvsb::bench

@@ -5,6 +5,11 @@
 // saturating input; MoonGen injects PTP probes into the paced background
 // stream and reads NIC hardware timestamps. BESS rows end at 3 VNFs
 // (QEMU incompatibility, footnote 5).
+//
+// Two chained campaigns mirror scenario::latency_sweep: "table3-rplus"
+// saturates every panel x switch in parallel; "table3-latency" replays
+// each at the three load fractions of its own R+. Raw results land in
+// <results dir>/table3-{rplus,latency}.json.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -13,42 +18,102 @@ namespace {
 
 using namespace nfvsb;
 
-void run_panel(const char* title, scenario::Kind kind, int chain) {
-  std::printf("-- %s --\n", title);
-  scenario::TextTable table({"Switch", "R+ Mpps", "0.10R+ us", "0.50R+ us",
-                             "0.99R+ us", "p99@0.99 us"});
-  for (auto sw : switches::kAllSwitches) {
-    scenario::ScenarioConfig cfg;
-    cfg.kind = kind;
-    cfg.sut = sw;
-    cfg.frame_bytes = 64;
-    cfg.chain_length = chain;
-    const auto sweep = scenario::latency_sweep(
-        cfg, {scenario::kPaperLoads.begin(), scenario::kPaperLoads.end()});
-    if (sweep.skipped) {
-      table.add_row({switches::to_string(sw), "-", "-", "-", "-", "-"});
-      continue;
-    }
-    std::vector<std::string> row{switches::to_string(sw),
-                                 scenario::fmt(sweep.r_plus_mpps)};
-    for (const auto& p : sweep.points) {
-      row.push_back(scenario::fmt(p.result.lat_avg_us, 1));
-    }
-    row.push_back(scenario::fmt(sweep.points.back().result.lat_p99_us, 1));
-    table.add_row(std::move(row));
+struct Panel {
+  std::string title;   ///< table heading
+  std::string key;     ///< label prefix, e.g. "loop3"
+  scenario::Kind kind;
+  int chain{1};
+};
+
+std::vector<Panel> panels() {
+  std::vector<Panel> ps{{"p2p", "p2p", scenario::Kind::kP2p, 1}};
+  for (int n = 1; n <= 4; ++n) {
+    ps.push_back({std::to_string(n) + "-VNF loopback",
+                  "loop" + std::to_string(n), scenario::Kind::kLoopback, n});
   }
-  std::fputs(table.to_string().c_str(), stdout);
-  std::puts("");
+  return ps;
+}
+
+scenario::ScenarioConfig base_config(const Panel& p,
+                                     switches::SwitchType sw) {
+  scenario::ScenarioConfig cfg;
+  cfg.kind = p.kind;
+  cfg.sut = sw;
+  cfg.frame_bytes = 64;
+  cfg.chain_length = p.chain;
+  return cfg;
+}
+
+std::string rplus_label(const Panel& p, switches::SwitchType sw) {
+  return p.key + "/" + switches::to_string(sw) + "/rplus";
+}
+
+std::string load_label(const Panel& p, switches::SwitchType sw, double load) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.2f", load);
+  return p.key + "/" + switches::to_string(sw) + "/" + buf;
 }
 
 }  // namespace
 
 int main() {
+  const auto ps = panels();
+
+  // Phase 1: R+ under saturation (rate 0, no probes, unidirectional) —
+  // same forcing as scenario::measure_r_plus_mpps.
+  campaign::Campaign sat("table3-rplus", bench::campaign_seed());
+  for (const auto& p : ps) {
+    for (auto sw : switches::kAllSwitches) {
+      auto cfg = base_config(p, sw);
+      cfg.rate_pps = 0;
+      cfg.probe_interval = 0;
+      cfg.bidirectional = false;
+      sat.add(rplus_label(p, sw), cfg);
+    }
+  }
+  const auto sat_rs = bench::run_and_save(sat);
+
+  // Phase 2: latency at each load fraction of the measured R+.
+  campaign::Campaign lat("table3-latency", bench::campaign_seed());
+  for (const auto& p : ps) {
+    for (auto sw : switches::kAllSwitches) {
+      const auto& s = sat_rs.at(rplus_label(p, sw));
+      if (s.skipped || s.fwd.mpps <= 0.0) continue;
+      for (double load : scenario::kPaperLoads) {
+        auto cfg = base_config(p, sw);
+        cfg.rate_pps = load * s.fwd.mpps * 1e6;
+        cfg.probe_interval = core::from_us(40);
+        lat.add(load_label(p, sw, load), cfg);
+      }
+    }
+  }
+  const auto lat_rs = bench::run_and_save(lat);
+
   std::puts("== Table 3: RTT latency (us), 64 B frames ==");
-  run_panel("p2p", scenario::Kind::kP2p, 1);
-  for (int n = 1; n <= 4; ++n) {
-    const std::string title = std::to_string(n) + "-VNF loopback";
-    run_panel(title.c_str(), scenario::Kind::kLoopback, n);
+  for (const auto& p : ps) {
+    std::printf("-- %s --\n", p.title.c_str());
+    scenario::TextTable table({"Switch", "R+ Mpps", "0.10R+ us", "0.50R+ us",
+                               "0.99R+ us", "p99@0.99 us"});
+    for (auto sw : switches::kAllSwitches) {
+      const auto& s = sat_rs.at(rplus_label(p, sw));
+      if (s.skipped || s.fwd.mpps <= 0.0) {
+        table.add_row({switches::to_string(sw), "-", "-", "-", "-", "-"});
+        continue;
+      }
+      std::vector<std::string> row{switches::to_string(sw),
+                                   scenario::fmt(s.fwd.mpps)};
+      for (double load : scenario::kPaperLoads) {
+        row.push_back(scenario::fmt(
+            lat_rs.at(load_label(p, sw, load)).lat_avg_us, 1));
+      }
+      row.push_back(scenario::fmt(
+          lat_rs.at(load_label(p, sw, scenario::kPaperLoads.back()))
+              .lat_p99_us,
+          1));
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
   }
   return 0;
 }

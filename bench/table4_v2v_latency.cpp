@@ -1,4 +1,5 @@
-// Regenerates Table 4: v2v RTT latency.
+// Regenerates Table 4: v2v RTT latency — one campaign, one point per
+// switch, raw results in <results dir>/table4.json.
 //
 // Paper setup (Sec. 5.3): two virtio interfaces per VM; MoonGen in VM1
 // software-timestamps packets at 1 Mpps; VM2 bounces them back with DPDK
@@ -11,11 +12,17 @@
 
 #include "bench_util.h"
 
+namespace {
+
+std::string label(nfvsb::switches::SwitchType sw) {
+  return std::string("v2v/lat/") + nfvsb::switches::to_string(sw) + "/64B";
+}
+
+}  // namespace
+
 int main() {
   using namespace nfvsb;
-  std::puts("== Table 4: v2v RTT latency (us) ==");
-  scenario::TextTable t({"Switch", "avg us", "median us", "p99 us",
-                         "samples"});
+  campaign::Campaign c("table4", bench::campaign_seed());
   for (auto sw : switches::kAllSwitches) {
     scenario::ScenarioConfig cfg;
     cfg.kind = scenario::Kind::kV2v;
@@ -23,7 +30,15 @@ int main() {
     cfg.frame_bytes = 64;
     cfg.rate_pps = 1e6;  // paper: 672 Mbps = 1 Mpps
     cfg.probe_interval = core::from_us(40);
-    const auto r = scenario::run_scenario(cfg);
+    c.add(label(sw), cfg);
+  }
+  const auto rs = bench::run_and_save(c);
+
+  std::puts("== Table 4: v2v RTT latency (us) ==");
+  scenario::TextTable t({"Switch", "avg us", "median us", "p99 us",
+                         "samples"});
+  for (auto sw : switches::kAllSwitches) {
+    const auto& r = rs.at(label(sw));
     t.add_row({switches::to_string(sw), scenario::fmt(r.lat_avg_us, 1),
                scenario::fmt(r.lat_median_us, 1),
                scenario::fmt(r.lat_p99_us, 1),

@@ -1,0 +1,17 @@
+#include "campaign/campaign.h"
+
+#include <stdexcept>
+
+namespace nfvsb::campaign {
+
+std::size_t Campaign::add(std::string label, scenario::ScenarioConfig cfg) {
+  for (const Point& p : points_) {
+    if (p.label == label) {
+      throw std::invalid_argument("duplicate campaign point label: " + label);
+    }
+  }
+  points_.push_back(Point{std::move(label), std::move(cfg)});
+  return points_.size() - 1;
+}
+
+}  // namespace nfvsb::campaign

@@ -1,0 +1,49 @@
+// A Campaign is the declarative form of a paper figure or table: a named
+// grid of independent ScenarioConfig points, each with a stable
+// human-readable label ("p2p/uni/vpp/64B") that formatters use to pull the
+// result back out. Points carry no seed of their own — the runner derives
+// one per point from (campaign seed, point index), so the full grid is
+// reproducible from the campaign alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace nfvsb::campaign {
+
+/// Default campaign seed (matches the historical per-run scenario seed).
+inline constexpr std::uint64_t kDefaultSeed = 0x5eed;
+
+struct Point {
+  std::string label;
+  scenario::ScenarioConfig cfg;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(std::string name, std::uint64_t seed = kDefaultSeed)
+      : name_(std::move(name)), seed_(seed) {}
+
+  /// Append a point; returns its index. The label must be unique within
+  /// the campaign (formatters and the JSON sink key on it).
+  std::size_t add(std::string label, scenario::ScenarioConfig cfg);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+  [[nodiscard]] const Point& point(std::size_t i) const {
+    return points_.at(i);
+  }
+
+ private:
+  std::string name_;
+  std::uint64_t seed_;
+  std::vector<Point> points_;
+};
+
+}  // namespace nfvsb::campaign

@@ -1,0 +1,65 @@
+#include "campaign/result_cache.h"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#if defined(_WIN32)
+#include <process.h>
+#define NFVSB_GETPID _getpid
+#else
+#include <unistd.h>
+#define NFVSB_GETPID getpid
+#endif
+
+#include "campaign/serialize.h"
+
+namespace nfvsb::campaign {
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (!dir_.empty()) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // best-effort; store() re-checks
+  }
+}
+
+std::string ResultCache::path_for(const scenario::ScenarioConfig& cfg) const {
+  return (fs::path(dir_) / (config_hash_hex(cfg) + ".json")).string();
+}
+
+std::optional<scenario::ScenarioResult> ResultCache::load(
+    const scenario::ScenarioConfig& cfg) const {
+  if (!enabled() || !cacheable(cfg)) return std::nullopt;
+  std::ifstream in(path_for(cfg));
+  if (!in) return std::nullopt;
+  std::ostringstream body;
+  body << in.rdbuf();
+  return result_from_json(body.str());
+}
+
+void ResultCache::store(const scenario::ScenarioConfig& cfg,
+                        const scenario::ScenarioResult& r) const {
+  if (!enabled() || !cacheable(cfg)) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Unique temp name per store: concurrent writers of the same key (other
+  // threads or other bench processes sharing the cache dir) each write
+  // their own file, and the final rename is atomic on POSIX.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string final_path = path_for(cfg);
+  const std::string tmp_path = final_path + ".tmp." +
+                               std::to_string(NFVSB_GETPID()) + "." +
+                               std::to_string(counter.fetch_add(1));
+  {
+    std::ofstream out(tmp_path);
+    if (!out) return;
+    out << result_to_json(r) << "\n";
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+}  // namespace nfvsb::campaign

@@ -1,0 +1,42 @@
+// On-disk result cache, content-addressed by config hash.
+//
+// Layout: <dir>/<16-hex-hash>.json, one flat ScenarioResult object per
+// file (see campaign/serialize.h). Writes go through a per-process unique
+// temp file + rename so concurrent workers (threads or separate bench
+// processes sharing a cache dir) never observe a torn file. A cache hit is
+// bit-identical to re-running the point: JSON doubles round-trip exactly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace nfvsb::campaign {
+
+class ResultCache {
+ public:
+  /// Empty `dir` disables the cache (load misses, store is a no-op).
+  explicit ResultCache(std::string dir);
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// Cached result for `cfg`, or nullopt (miss / disabled / uncacheable
+  /// config / unreadable file).
+  [[nodiscard]] std::optional<scenario::ScenarioResult> load(
+      const scenario::ScenarioConfig& cfg) const;
+
+  /// Persist `r` under cfg's content hash. No-op when disabled or `cfg`
+  /// is not cacheable.
+  void store(const scenario::ScenarioConfig& cfg,
+             const scenario::ScenarioResult& r) const;
+
+  /// Path a given config would be cached at (diagnostics, tests).
+  [[nodiscard]] std::string path_for(const scenario::ScenarioConfig& cfg) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace nfvsb::campaign

@@ -1,0 +1,34 @@
+// Deterministic per-point seed derivation.
+//
+// Every campaign point runs its own isolated core::Simulator whose seed is
+// a pure function of (campaign seed, point index). Workers can therefore
+// claim points in any order, on any number of threads, and still produce
+// bit-identical results — the scheduling never feeds back into the
+// simulation. The mix is splitmix64 (Steele et al., the same finalizer the
+// core Rng uses to expand its xoshiro state), applied twice so that
+// neighbouring indices land in unrelated regions of the seed space.
+#pragma once
+
+#include <cstdint>
+
+namespace nfvsb::campaign {
+
+/// splitmix64 finalizer: one 64-bit mixing step.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Seed for campaign point `index` under `campaign_seed`: the index-th
+/// output of a splitmix64 stream whose initial state is the hashed
+/// campaign seed. The two arguments play different roles, so
+/// derive_seed(a, b) != derive_seed(b, a) in general.
+constexpr std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                    std::uint64_t index) {
+  return splitmix64(splitmix64(campaign_seed) +
+                    index * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace nfvsb::campaign

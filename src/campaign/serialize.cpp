@@ -1,0 +1,225 @@
+#include "campaign/serialize.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace nfvsb::campaign {
+namespace {
+
+// %.17g: shortest format guaranteed to round-trip an IEEE-754 double.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// ---- flat-object JSON reader ------------------------------------------
+
+struct Scanner {
+  std::string_view s;
+  std::size_t i{0};
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string(std::string& out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default: out += s[i];
+        }
+      } else {
+        out += s[i];
+      }
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;  // closing quote
+    return true;
+  }
+  bool parse_number(double& out) {
+    skip_ws();
+    const char* begin = s.data() + i;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return false;
+    i += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+  bool parse_literal(std::string_view lit) {
+    skip_ws();
+    if (s.substr(i, lit.size()) != lit) return false;
+    i += lit.size();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool cacheable(const scenario::ScenarioConfig& cfg) {
+  return !static_cast<bool>(cfg.tune_sut);
+}
+
+std::string config_key(const scenario::ScenarioConfig& cfg) {
+  std::ostringstream k;
+  k << "kind=" << scenario::to_string(cfg.kind)
+    << ";sut=" << switches::to_string(cfg.sut)
+    << ";frame=" << cfg.frame_bytes << ";bidir=" << cfg.bidirectional
+    << ";chain=" << cfg.chain_length << ";reverse=" << cfg.reverse
+    << ";rate_pps=" << fmt_double(cfg.rate_pps) << ";flows=" << cfg.num_flows
+    << ";workers=" << cfg.sut_workers << ";probe=" << cfg.probe_interval
+    << ";ring=" << cfg.nic_ring_depth << ";drain=" << cfg.l2fwd_drain
+    << ";containers=" << cfg.containers << ";warmup=" << cfg.warmup
+    << ";measure=" << cfg.measure << ";seed=" << cfg.seed
+    << ";tuned=" << static_cast<bool>(cfg.tune_sut);
+  return k.str();
+}
+
+std::string config_hash_hex(const scenario::ScenarioConfig& cfg) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a(config_key(cfg))));
+  return buf;
+}
+
+std::string config_to_json(const scenario::ScenarioConfig& cfg) {
+  std::ostringstream j;
+  j << "{\"kind\":\"" << scenario::to_string(cfg.kind) << "\",\"sut\":\""
+    << switches::to_string(cfg.sut) << "\",\"frame_bytes\":" << cfg.frame_bytes
+    << ",\"bidirectional\":" << (cfg.bidirectional ? "true" : "false")
+    << ",\"chain_length\":" << cfg.chain_length
+    << ",\"reverse\":" << (cfg.reverse ? "true" : "false")
+    << ",\"rate_pps\":" << fmt_double(cfg.rate_pps)
+    << ",\"num_flows\":" << cfg.num_flows
+    << ",\"sut_workers\":" << cfg.sut_workers
+    << ",\"probe_interval_ps\":" << cfg.probe_interval
+    << ",\"nic_ring_depth\":" << cfg.nic_ring_depth
+    << ",\"l2fwd_drain_ps\":" << cfg.l2fwd_drain
+    << ",\"containers\":" << (cfg.containers ? "true" : "false")
+    << ",\"warmup_ps\":" << cfg.warmup << ",\"measure_ps\":" << cfg.measure
+    << ",\"seed\":" << cfg.seed << "}";
+  return j.str();
+}
+
+std::string result_to_json(const scenario::ScenarioResult& r) {
+  std::ostringstream j;
+  j << "{";
+  if (r.skipped) {
+    j << "\"skipped\":\"" << json_escape(*r.skipped) << "\",";
+  } else {
+    j << "\"skipped\":null,";
+  }
+  j << "\"fwd_gbps\":" << fmt_double(r.fwd.gbps)
+    << ",\"fwd_mpps\":" << fmt_double(r.fwd.mpps)
+    << ",\"fwd_rx_packets\":" << r.fwd.rx_packets
+    << ",\"rev_gbps\":" << fmt_double(r.rev.gbps)
+    << ",\"rev_mpps\":" << fmt_double(r.rev.mpps)
+    << ",\"rev_rx_packets\":" << r.rev.rx_packets
+    << ",\"lat_samples\":" << r.lat_samples
+    << ",\"lat_avg_us\":" << fmt_double(r.lat_avg_us)
+    << ",\"lat_std_us\":" << fmt_double(r.lat_std_us)
+    << ",\"lat_median_us\":" << fmt_double(r.lat_median_us)
+    << ",\"lat_p99_us\":" << fmt_double(r.lat_p99_us)
+    << ",\"lat_min_us\":" << fmt_double(r.lat_min_us)
+    << ",\"lat_max_us\":" << fmt_double(r.lat_max_us)
+    << ",\"nic_imissed\":" << r.nic_imissed
+    << ",\"sut_wasted_work\":" << r.sut_wasted_work
+    << ",\"sut_discards\":" << r.sut_discards
+    << ",\"vnf_wasted_work\":" << r.vnf_wasted_work
+    << ",\"vnf_discards\":" << r.vnf_discards
+    << ",\"offered_packets\":" << r.offered_packets
+    << ",\"delivered_packets\":" << r.delivered_packets
+    << ",\"gen_tx_failures\":" << r.gen_tx_failures << "}";
+  return j.str();
+}
+
+std::optional<scenario::ScenarioResult> result_from_json(
+    std::string_view json) {
+  Scanner sc{json};
+  if (!sc.eat('{')) return std::nullopt;
+  scenario::ScenarioResult r;
+  auto u64 = [](double v) { return static_cast<std::uint64_t>(v); };
+  bool first = true;
+  while (true) {
+    if (sc.eat('}')) break;
+    if (!first && !sc.eat(',')) return std::nullopt;
+    first = false;
+    std::string key;
+    if (!sc.parse_string(key) || !sc.eat(':')) return std::nullopt;
+    if (key == "skipped") {
+      if (sc.parse_literal("null")) continue;
+      std::string reason;
+      if (!sc.parse_string(reason)) return std::nullopt;
+      r.skipped = std::move(reason);
+      continue;
+    }
+    double v = 0;
+    if (!sc.parse_number(v)) return std::nullopt;
+    if (key == "fwd_gbps") r.fwd.gbps = v;
+    else if (key == "fwd_mpps") r.fwd.mpps = v;
+    else if (key == "fwd_rx_packets") r.fwd.rx_packets = u64(v);
+    else if (key == "rev_gbps") r.rev.gbps = v;
+    else if (key == "rev_mpps") r.rev.mpps = v;
+    else if (key == "rev_rx_packets") r.rev.rx_packets = u64(v);
+    else if (key == "lat_samples") r.lat_samples = u64(v);
+    else if (key == "lat_avg_us") r.lat_avg_us = v;
+    else if (key == "lat_std_us") r.lat_std_us = v;
+    else if (key == "lat_median_us") r.lat_median_us = v;
+    else if (key == "lat_p99_us") r.lat_p99_us = v;
+    else if (key == "lat_min_us") r.lat_min_us = v;
+    else if (key == "lat_max_us") r.lat_max_us = v;
+    else if (key == "nic_imissed") r.nic_imissed = u64(v);
+    else if (key == "sut_wasted_work") r.sut_wasted_work = u64(v);
+    else if (key == "sut_discards") r.sut_discards = u64(v);
+    else if (key == "vnf_wasted_work") r.vnf_wasted_work = u64(v);
+    else if (key == "vnf_discards") r.vnf_discards = u64(v);
+    else if (key == "offered_packets") r.offered_packets = u64(v);
+    else if (key == "delivered_packets") r.delivered_packets = u64(v);
+    else if (key == "gen_tx_failures") r.gen_tx_failures = u64(v);
+    else return std::nullopt;  // unknown field: refuse stale cache formats
+  }
+  return r;
+}
+
+}  // namespace nfvsb::campaign

@@ -70,6 +70,15 @@ void finish(const ScenarioConfig& cfg, Env& env, Generators& g,
   detail::fill_latency(r, g.fwd->latency());
   r.nic_imissed =
       env.testbed.nic(0, 0).imissed() + env.testbed.nic(0, 1).imissed();
+  // Whole-run conservation: chain egress lands at the node-1 monitor NICs.
+  r.offered_packets = g.fwd->tx_sent();
+  r.gen_tx_failures = g.fwd->tx_failed();
+  r.delivered_packets = env.testbed.nic(1, 1).rx_frames();
+  if (g.rev) {
+    r.offered_packets += g.rev->tx_sent();
+    r.gen_tx_failures += g.rev->tx_failed();
+    r.delivered_packets += env.testbed.nic(1, 0).rx_frames();
+  }
   (void)cfg;
 }
 
@@ -124,6 +133,10 @@ ScenarioResult run_loopback_vale(const ScenarioConfig& cfg) {
   for (auto& v : vales) {
     r.sut_wasted_work += v->stats().tx_drops;
     r.sut_discards += v->stats().discards;
+  }
+  for (auto& gv : guests) {
+    r.vnf_wasted_work += gv->vale().stats().tx_drops;
+    r.vnf_discards += gv->vale().stats().discards;
   }
   return r;
 }
@@ -208,6 +221,10 @@ ScenarioResult run_loopback(const ScenarioConfig& cfg) {
   finish(cfg, env, g, t_stop, r);
   r.sut_wasted_work = sut->stats().tx_drops;
   r.sut_discards = sut->stats().discards;
+  for (int i = 0; i < n; ++i) {
+    r.vnf_wasted_work += chain.vnf(i).stats().tx_drops;
+    r.vnf_discards += chain.vnf(i).stats().discards;
+  }
   return r;
 }
 

@@ -125,6 +125,24 @@ ScenarioResult run_p2v(const ScenarioConfig& cfg) {
   r.nic_imissed = env.testbed.nic(0, 0).imissed();
   r.sut_wasted_work = sut->stats().tx_drops;
   r.sut_discards = sut->stats().discards;
+  // Whole-run conservation: NIC->VM deliveries land in the guest RX ring
+  // (sink-drained by the in-VM monitor, so enqueued() counts every frame);
+  // VM->NIC deliveries land at the node-1 monitor NIC.
+  if (has_fwd) {
+    r.offered_packets += gen_fwd->tx_sent();
+    r.gen_tx_failures += gen_fwd->tx_failed();
+    r.delivered_packets += guest->rx_ring().enqueued();
+  }
+  if (has_rev) {
+    if (vale) {
+      r.offered_packets += pg_rev_guest->tx_sent();
+      r.gen_tx_failures += pg_rev_guest->tx_failed();
+    } else {
+      r.offered_packets += gen_rev_guest->tx_sent();
+      r.gen_tx_failures += gen_rev_guest->tx_failed();
+    }
+    r.delivered_packets += env.testbed.nic(1, 0).rx_frames();
+  }
   return r;
 }
 

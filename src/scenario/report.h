@@ -1,9 +1,13 @@
 // Plain-text table rendering for the bench harness, shaped like the
-// paper's figures/tables (one row per switch, one column per condition).
+// paper's figures/tables (one row per switch, one column per condition),
+// plus the aggregation helpers the campaign formatters use to turn
+// ScenarioResults into figure cells.
 #pragma once
 
 #include <string>
 #include <vector>
+
+#include "scenario/scenario.h"
 
 namespace nfvsb::scenario {
 
@@ -29,5 +33,23 @@ std::string fmt(double v, int decimals = 2);
 
 /// Gbps or "-" when skipped.
 std::string fmt_or_dash(double v, bool skipped, int decimals = 2);
+
+// ---- aggregation helpers for campaign formatters ------------------------
+
+/// Throughput cell of a figure panel: aggregate of both directions for
+/// bidirectional panels, forward direction otherwise.
+double panel_gbps(const ScenarioResult& r, bool bidirectional);
+double panel_mpps(const ScenarioResult& r, bool bidirectional);
+
+/// Mean / stddev / extrema over a sample of per-point metrics (e.g. one
+/// metric across frame sizes, chain lengths or repeated seeds).
+struct Summary {
+  std::size_t n{0};
+  double mean{0};
+  double stddev{0};
+  double min{0};
+  double max{0};
+};
+Summary summarize(const std::vector<double>& xs);
 
 }  // namespace nfvsb::scenario

@@ -93,13 +93,26 @@ struct ScenarioResult {
   std::uint64_t nic_imissed{0};    ///< NIC RX ring overflow
   std::uint64_t sut_wasted_work{0};///< processed then dropped at full ring
   std::uint64_t sut_discards{0};   ///< datapath decisions (no route etc.)
+  // Losses inside chained VNFs (loopback l2fwd / guest VALE instances),
+  // kept separate from the SUT's own counters so figure columns that
+  // report "wasted work at the SUT" keep their meaning.
+  std::uint64_t vnf_wasted_work{0};///< VNF processed then dropped
+  std::uint64_t vnf_discards{0};   ///< VNF datapath discards
 
-  // Whole-run conservation bookkeeping (p2p fills these; counts cover the
-  // ENTIRE run, not just the measurement window): every offered packet is
-  // either delivered back or accounted to a specific loss site.
+  // Whole-run conservation bookkeeping (every scenario kind fills these;
+  // counts cover the ENTIRE run, not just the measurement window): every
+  // offered packet is either delivered to the terminal monitor or
+  // accounted to a specific loss site.
   std::uint64_t offered_packets{0};    ///< generator frames onto the wire
-  std::uint64_t delivered_packets{0};  ///< frames back at the monitor NICs
+  std::uint64_t delivered_packets{0};  ///< frames at the terminal monitors
   std::uint64_t gen_tx_failures{0};    ///< generator-side TX ring drops
+
+  /// Packets accounted for after a fully drained run: delivered plus every
+  /// attributed loss. Conservation holds iff this equals offered_packets.
+  [[nodiscard]] std::uint64_t accounted_packets() const {
+    return delivered_packets + nic_imissed + sut_wasted_work + sut_discards +
+           vnf_wasted_work + vnf_discards;
+  }
 };
 
 /// Build and run one scenario to completion. Deterministic per config+seed.

@@ -116,6 +116,16 @@ ScenarioResult run_v2v_throughput(const ScenarioConfig& cfg, Env& env,
   }
   r.sut_wasted_work = sut.stats().tx_drops;
   r.sut_discards = sut.stats().discards;
+  // Whole-run conservation: both terminal guest RX rings are sink-drained
+  // by their monitors, so enqueued() counts every delivered frame.
+  r.offered_packets = vale ? pg_fwd->tx_sent() : mg_fwd->tx_sent();
+  r.gen_tx_failures = vale ? pg_fwd->tx_failed() : mg_fwd->tx_failed();
+  r.delivered_packets = g2->rx_ring().enqueued();
+  if (cfg.bidirectional) {
+    r.offered_packets += vale ? pg_rev->tx_sent() : mg_rev->tx_sent();
+    r.gen_tx_failures += vale ? pg_rev->tx_failed() : mg_rev->tx_failed();
+    r.delivered_packets += g1->rx_ring().enqueued();
+  }
   return r;
 }
 

@@ -109,6 +109,13 @@ class SwitchBase {
   /// into the switch's tx statistics.
   bool direct_tx(ring::Port& p, pkt::PacketHandle pkt);
 
+  /// Per-round accounting charges every batch packet that produced no Tx
+  /// entry to `discards`. A datapath that instead BUFFERS packets across
+  /// rounds (l2fwd's rte_eth_tx_buffer) must credit the counter back when
+  /// it later emits them outside a Tx vector, or packet-conservation
+  /// audits would double-count them as both discarded and delivered.
+  void note_deferred_tx(std::uint64_t n) { stats_.discards -= n; }
+
  private:
   void on_enqueue(std::size_t port_idx, bool became_nonempty);
   void wake(core::SimDuration latency);

@@ -1,0 +1,263 @@
+// Campaign subsystem tests: deterministic seed derivation, the parallel
+// runner's bit-identical-results contract (1 thread vs N threads), the
+// JSON result serialization roundtrip, and the content-hash result cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.h"
+#include "campaign/result_cache.h"
+#include "campaign/runner.h"
+#include "campaign/seed.h"
+#include "campaign/serialize.h"
+
+namespace {
+
+using namespace nfvsb;
+
+// ---------------------------------------------------------------------------
+// Seed derivation.
+
+TEST(CampaignSeed, SplitmixKnownVector) {
+  // First output of a splitmix64 stream seeded with 0 (reference vector
+  // from the original public-domain implementation).
+  EXPECT_EQ(campaign::splitmix64(0), 0xe220a8397b1dcdafULL);
+}
+
+TEST(CampaignSeed, DeriveIsDeterministic) {
+  static_assert(campaign::derive_seed(1, 2) == campaign::derive_seed(1, 2),
+                "derive_seed must be constexpr and pure");
+  EXPECT_EQ(campaign::derive_seed(0x5eed, 7),
+            campaign::derive_seed(0x5eed, 7));
+}
+
+TEST(CampaignSeed, DistinctAcrossIndicesAndCampaigns) {
+  // Adjacent indices and adjacent campaign seeds must not collide — the
+  // whole point of hashing is that point 0 and point 1 get unrelated RNG
+  // streams even though the inputs differ by one bit.
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_NE(campaign::derive_seed(0x5eed, i),
+              campaign::derive_seed(0x5eed, i + 1));
+    EXPECT_NE(campaign::derive_seed(0x5eed, i),
+              campaign::derive_seed(0x5eee, i));
+  }
+  // Index must not be interchangeable with the campaign seed.
+  EXPECT_NE(campaign::derive_seed(1, 2), campaign::derive_seed(2, 1));
+}
+
+// ---------------------------------------------------------------------------
+// Campaign declaration.
+
+TEST(Campaign, AddAssignsSequentialIndices) {
+  campaign::Campaign c("t", 1);
+  scenario::ScenarioConfig cfg;
+  EXPECT_EQ(c.add("a", cfg), 0u);
+  EXPECT_EQ(c.add("b", cfg), 1u);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.point(1).label, "b");
+}
+
+TEST(Campaign, DuplicateLabelThrows) {
+  campaign::Campaign c("t", 1);
+  scenario::ScenarioConfig cfg;
+  c.add("a", cfg);
+  EXPECT_THROW(c.add("a", cfg), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Content addressing.
+
+TEST(CampaignSerialize, KeyCoversFieldsIncludingSeed) {
+  scenario::ScenarioConfig a;
+  scenario::ScenarioConfig b = a;
+  EXPECT_EQ(campaign::config_key(a), campaign::config_key(b));
+
+  b.frame_bytes = 256;
+  EXPECT_NE(campaign::config_key(a), campaign::config_key(b));
+
+  b = a;
+  b.seed = a.seed + 1;
+  EXPECT_NE(campaign::config_key(a), campaign::config_key(b));
+  EXPECT_NE(campaign::config_hash_hex(a), campaign::config_hash_hex(b));
+}
+
+TEST(CampaignSerialize, TuneHookIsNotCacheable) {
+  scenario::ScenarioConfig cfg;
+  EXPECT_TRUE(campaign::cacheable(cfg));
+  cfg.tune_sut = [](switches::SwitchBase&) {};
+  EXPECT_FALSE(campaign::cacheable(cfg));
+}
+
+// ---------------------------------------------------------------------------
+// JSON roundtrip.
+
+TEST(CampaignSerialize, ResultRoundtripIsExact) {
+  scenario::ScenarioResult r;
+  r.fwd.gbps = 0.1;  // not exactly representable; %.17g must round-trip
+  r.fwd.mpps = 14.880952380952381;
+  r.fwd.rx_packets = 123456789;
+  r.rev.gbps = 1.0 / 3.0;
+  r.lat_samples = 625;
+  r.lat_avg_us = 22.43999999999999773;
+  r.lat_p99_us = 1e-17;
+  r.nic_imissed = 42;
+  r.sut_wasted_work = 7;
+  r.vnf_discards = 9;
+  r.offered_packets = 1000000;
+  r.delivered_packets = 999951;
+
+  const std::string json = campaign::result_to_json(r);
+  const auto back = campaign::result_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  // Bit-exact doubles: re-serializing must give the identical string.
+  EXPECT_EQ(campaign::result_to_json(*back), json);
+  EXPECT_EQ(back->fwd.rx_packets, r.fwd.rx_packets);
+  EXPECT_EQ(back->lat_samples, r.lat_samples);
+  EXPECT_EQ(back->nic_imissed, r.nic_imissed);
+  EXPECT_EQ(back->delivered_packets, r.delivered_packets);
+}
+
+TEST(CampaignSerialize, MalformedJsonRejected) {
+  EXPECT_FALSE(campaign::result_from_json("").has_value());
+  EXPECT_FALSE(campaign::result_from_json("{").has_value());
+  EXPECT_FALSE(campaign::result_from_json("[1,2]").has_value());
+  EXPECT_FALSE(
+      campaign::result_from_json("{\"unknown_field\": 1}").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Runner determinism + cache.
+
+campaign::RunnerOptions with_threads(int threads) {
+  campaign::RunnerOptions o;
+  o.threads = threads;
+  return o;
+}
+
+campaign::Campaign small_campaign(std::uint64_t seed) {
+  campaign::Campaign c("golden", seed);
+  for (auto sw : {switches::SwitchType::kVpp, switches::SwitchType::kVale,
+                  switches::SwitchType::kSnabb}) {
+    for (std::uint32_t frame : {64u, 1024u}) {
+      scenario::ScenarioConfig cfg;
+      cfg.kind = scenario::Kind::kP2p;
+      cfg.sut = sw;
+      cfg.frame_bytes = frame;
+      cfg.warmup = core::from_ms(1);
+      cfg.measure = core::from_ms(3);
+      c.add(std::string(switches::to_string(sw)) + "/" +
+                std::to_string(frame),
+            cfg);
+    }
+  }
+  return c;
+}
+
+TEST(CampaignRunner, GoldenBitIdenticalAcrossThreadCounts) {
+  const auto c = small_campaign(0xfeedULL);
+
+  campaign::CampaignRunner serial(with_threads(1));
+  campaign::CampaignRunner wide(with_threads(4));
+  const auto a = serial.run(c);
+  const auto b = wide.run(c);
+
+  ASSERT_EQ(a.size(), c.size());
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& pa = a.all()[i];
+    const auto& pb = b.all()[i];
+    EXPECT_EQ(pa.label, pb.label);
+    EXPECT_EQ(pa.cfg.seed, campaign::derive_seed(c.seed(), i));
+    EXPECT_EQ(pb.cfg.seed, pa.cfg.seed);
+    // Bit-identical results: the serialized form must match byte for byte.
+    EXPECT_EQ(campaign::result_to_json(pa.result),
+              campaign::result_to_json(pb.result))
+        << "point " << pa.label << " diverged between 1 and 4 threads";
+  }
+}
+
+TEST(CampaignRunner, SeedChangesResults) {
+  // Sanity check that the golden test above is not vacuous: a different
+  // campaign seed must actually perturb at least one measured value.
+  campaign::CampaignRunner runner(with_threads(2));
+  const auto a = runner.run(small_campaign(0xfeedULL));
+  const auto b = runner.run(small_campaign(0xf00dULL));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (campaign::result_to_json(a.all()[i].result) !=
+        campaign::result_to_json(b.all()[i].result)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(CampaignRunner, CacheHitsAreBitIdentical) {
+  const std::string dir =
+      (std::filesystem::path(::testing::TempDir()) / "nfvsb-cache-test")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  const auto c = small_campaign(0xcac4eULL);
+  campaign::RunnerOptions opts;
+  opts.threads = 2;
+  opts.cache_dir = dir;
+
+  campaign::CampaignRunner first(opts);
+  const auto a = first.run(c);
+  EXPECT_EQ(a.cache_hits(), 0u);
+
+  campaign::CampaignRunner second(opts);
+  const auto b = second.run(c);
+  EXPECT_EQ(b.cache_hits(), c.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(b.all()[i].from_cache);
+    EXPECT_EQ(campaign::result_to_json(a.all()[i].result),
+              campaign::result_to_json(b.all()[i].result))
+        << "cached point " << a.all()[i].label
+        << " differs from the run that stored it";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CampaignRunner, ResultSetLookup) {
+  const auto c = small_campaign(0x1ULL);
+  campaign::CampaignRunner runner(with_threads(2));
+  const auto rs = runner.run(c);
+  EXPECT_TRUE(rs.contains("VPP/64"));
+  EXPECT_NO_THROW((void)rs.at("VPP/64"));
+  EXPECT_FALSE(rs.contains("nope"));
+  EXPECT_THROW((void)rs.at("nope"), std::out_of_range);
+}
+
+TEST(CampaignRunner, WriteResultsJson) {
+  const auto c = small_campaign(0x2ULL);
+  campaign::CampaignRunner runner(with_threads(2));
+  const auto rs = runner.run(c);
+
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "nfvsb-json-test" /
+       "out.json")
+          .string();
+  ASSERT_TRUE(campaign::write_results_json(path, c, rs));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  EXPECT_NE(text.find("\"campaign\":\"golden\""), std::string::npos);
+  EXPECT_NE(text.find("VPP/64"), std::string::npos);
+  // Every point's result object must be loadable on its own.
+  for (const auto& p : rs.all()) {
+    EXPECT_TRUE(
+        campaign::result_from_json(campaign::result_to_json(p.result))
+            .has_value());
+  }
+  std::filesystem::remove_all(
+      std::filesystem::path(::testing::TempDir()) / "nfvsb-json-test");
+}
+
+}  // namespace
