@@ -4,6 +4,8 @@
 // functional structures the simulation runs per packet.
 #include <benchmark/benchmark.h>
 
+#include "core/event_queue.h"
+#include "core/simulator.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "stats/histogram.h"
@@ -93,6 +95,53 @@ void BM_MacTableLearnLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MacTableLearnLookup);
+
+void BM_EventSchedulePop(benchmark::State& state) {
+  core::EventQueue q;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  core::SimTime now = 0;
+  for (int i = 0; i < 1024; ++i) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(now + 1 + static_cast<core::SimTime>((rng >> 33) % 1'000'000),
+               [] {});
+  }
+  for (auto _ : state) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    q.schedule(now + 1 + static_cast<core::SimTime>((rng >> 33) % 1'000'000),
+               [] {});
+    auto fired = q.pop();
+    now = fired.time;
+    benchmark::DoNotOptimize(now);
+  }
+  q.clear();
+}
+BENCHMARK(BM_EventSchedulePop);
+
+void BM_EventCancel(benchmark::State& state) {
+  core::EventQueue q;
+  core::SimTime now = 0;
+  for (auto _ : state) {
+    const auto id = q.schedule(now + 1'000'000, [] {});
+    q.cancel(id);  // O(1) slot+generation invalidation
+    benchmark::DoNotOptimize(id);
+    ++now;
+  }
+  q.clear();
+}
+BENCHMARK(BM_EventCancel);
+
+void BM_RecurringTimer(benchmark::State& state) {
+  core::Simulator sim;
+  std::uint64_t fired = 0;
+  sim.schedule_every(0, 67'200, core::EventFn([&fired] { ++fired; }));
+  core::SimTime horizon = 0;
+  for (auto _ : state) {
+    horizon += core::from_us(10);
+    sim.run_until(horizon);
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_RecurringTimer);
 
 void BM_HistogramAdd(benchmark::State& state) {
   stats::Histogram h;

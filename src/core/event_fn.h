@@ -1,0 +1,129 @@
+// Allocation-free callback storage for the event engine.
+//
+// std::function heap-allocates any capture larger than its tiny internal
+// buffer (two pointers on libstdc++), which put one malloc/free pair on the
+// simulator's hottest path: every scheduled event. SmallFn keeps a 48-byte
+// inline buffer — enough for every steady-state capture in the data path
+// ([this], [this, raw], [this, q, raw], even a wrapped std::function) — and
+// falls back to the heap only for oversized captures. Fallbacks are counted
+// so tests (and the perf harness) can assert the hot path never allocates.
+//
+// Move-only, like the PacketHandles that often live inside captures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nfvsb::core {
+
+namespace detail {
+/// Process-wide count of SmallFn constructions that spilled to the heap.
+/// Plain (non-atomic) counter: each Simulator is single-threaded, and the
+/// campaign runner gives every worker thread its own Simulator; exactness
+/// across concurrently running simulations is not needed, only "did MY
+/// steady-state loop allocate", which tests check single-threaded.
+inline std::uint64_t small_fn_heap_fallbacks = 0;
+}  // namespace detail
+
+template <typename R>
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &heap_vtable<Fn>;
+      ++detail::small_fn_heap_fallbacks;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : vt_(o.vt_) {
+    if (vt_ != nullptr) vt_->relocate(o.buf_, buf_);
+    o.vt_ = nullptr;
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      if (vt_ != nullptr) vt_->destroy(buf_);
+      vt_ = o.vt_;
+      if (vt_ != nullptr) vt_->relocate(o.buf_, buf_);
+      o.vt_ = nullptr;
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() {
+    if (vt_ != nullptr) vt_->destroy(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  R operator()() { return vt_->invoke(buf_); }
+
+  /// True when this callable spilled its capture to the heap.
+  [[nodiscard]] bool on_heap() const { return vt_ != nullptr && vt_->heap; }
+
+  /// Total heap spills since process start (or the last reset).
+  static std::uint64_t heap_fallback_count() {
+    return detail::small_fn_heap_fallbacks;
+  }
+  static void reset_heap_fallback_count() {
+    detail::small_fn_heap_fallbacks = 0;
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*);
+    void (*relocate)(void* src, void* dst);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool heap;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable{
+      [](void* p) -> R { return (*static_cast<Fn*>(p))(); },
+      [](void* src, void* dst) {
+        auto* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      false};
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable{
+      [](void* p) -> R { return (**static_cast<Fn**>(p))(); },
+      [](void* src, void* dst) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      true};
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_{nullptr};
+};
+
+/// The event engine's callback type.
+using EventFn = SmallFn<void>;
+
+}  // namespace nfvsb::core

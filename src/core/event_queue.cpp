@@ -1,69 +1,155 @@
 #include "core/event_queue.h"
 
-#include <algorithm>
-#include <cassert>
-#include <utility>
-
 namespace nfvsb::core {
 
-EventQueue::EventId EventQueue::schedule(SimTime at, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{at, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  ++live_count_;
-  return id;
+EventQueue::EventQueue() {
+  for (auto& level : bucket_head_) level.fill(kNoFree);
+}
+
+void EventQueue::open_level0(std::size_t slot, std::uint64_t tick) {
+  std::uint32_t idx = bucket_head_[0][slot];
+  bucket_head_[0][slot] = kNoFree;
+  clear_bit(0, slot);
+  while (idx != kNoFree) {
+    Rec& r = slab_[idx];
+    const std::uint32_t next = r.next;
+    if (r.live) {
+      cur_push(Ref{r.time, r.seq, idx, r.gen});
+    } else {
+      push_free(idx);  // cancelled while bucketed; reclaim here
+    }
+    idx = next;
+  }
+  pos_ = tick + 1;
+}
+
+void EventQueue::cascade(unsigned level, std::size_t slot) {
+  std::uint32_t idx = bucket_head_[level][slot];
+  bucket_head_[level][slot] = kNoFree;
+  clear_bit(level, slot);
+  // Entries in this chain agree with the (just advanced) cursor on every
+  // digit above `level`, so they re-insert strictly below it.
+  while (idx != kNoFree) {
+    Rec& r = slab_[idx];
+    const std::uint32_t next = r.next;
+    if (r.live) {
+      const std::uint64_t tick = tick_of(r.time);
+      assert(level_of(tick, pos_) < level);
+      wheel_insert(idx, tick);
+    } else {
+      push_free(idx);
+    }
+    idx = next;
+  }
+}
+
+int EventQueue::next_occupied(unsigned level, std::size_t from) const {
+  const auto& words = occ_[level];
+  for (std::size_t w = from >> 6; w < words.size(); ++w) {
+    std::uint64_t m = words[w];
+    if (w == from >> 6) m &= ~0ull << (from & 63);
+    if (m != 0) {
+      return static_cast<int>(w * 64 +
+                              static_cast<std::size_t>(std::countr_zero(m)));
+    }
+  }
+  return -1;
+}
+
+void EventQueue::refill_slow() {
+  constexpr unsigned kHorizonBits = kLevels * kSlotBits;
+  for (;;) {
+    drop_stale_cur();
+    if (!cur_.empty()) return;
+
+    // Far-future events whose top-level window the cursor has reached (the
+    // cursor can roll into a new window via open_level0's tick+1) must
+    // become wheel residents BEFORE any scan decides what fires next, or a
+    // later wheel entry could overtake an earlier overflow one.
+    while (!overflow_.empty() &&
+           tick_of(overflow_.front().time) >> kHorizonBits ==
+               pos_ >> kHorizonBits) {
+      const Ref r = overflow_.front();
+      std::pop_heap(overflow_.begin(), overflow_.end(), RefAfter{});
+      overflow_.pop_back();
+      if (ref_live(r)) {
+        wheel_insert(r.rec, tick_of(r.time));
+      } else {
+        push_free(r.rec);
+      }
+    }
+
+    // When open_level0 rolls the cursor across a digit boundary (tick+1),
+    // the higher-level bucket at the cursor's new slot holds that window's
+    // events and must spill down before the level-0 scan — a fresh level-0
+    // arrival in the new window would otherwise mask it. Highest level
+    // first: a cascade never refills a lower level's cursor slot.
+    for (unsigned l = kLevels - 1; l >= 1; --l) {
+      const std::size_t cs = (pos_ >> (l * kSlotBits)) & (kSlots - 1);
+      if ((occ_[l][cs >> 6] >> (cs & 63)) & 1u) cascade(l, cs);
+    }
+
+    const int s0 = next_occupied(0, pos_ & (kSlots - 1));
+    if (s0 >= 0) {
+      const std::uint64_t tick =
+          (pos_ & ~static_cast<std::uint64_t>(kSlots - 1)) |
+          static_cast<std::uint64_t>(s0);
+      // cur_ may stay empty (all-dead chain); the loop rechecks.
+      open_level0(static_cast<std::size_t>(s0), tick);
+      continue;
+    }
+    bool cascaded = false;
+    for (unsigned l = 1; l < kLevels; ++l) {
+      const std::size_t cur_slot = (pos_ >> (l * kSlotBits)) & (kSlots - 1);
+      const int sl = next_occupied(l, cur_slot);
+      if (sl < 0) continue;
+      // Advance the cursor to the start of that slot's window, then spill
+      // the bucket into the levels below.
+      const std::uint64_t span = 1ull << ((l + 1) * kSlotBits);
+      pos_ = (pos_ & ~(span - 1)) |
+             (static_cast<std::uint64_t>(sl) << (l * kSlotBits));
+      cascade(l, static_cast<std::size_t>(sl));
+      cascaded = true;
+      break;
+    }
+    if (cascaded) continue;
+    // Wheel fully drained: jump the cursor to the window of the earliest
+    // far-future event; the next iteration cascades that window in.
+    if (overflow_.empty()) {
+      assert(false && "live events must be findable");
+      return;
+    }
+    pos_ = tick_of(overflow_.front().time) >> kHorizonBits << kHorizonBits;
+  }
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  if (cancelled_.insert(id).second) {
-    // Only decrement if the id is actually still pending; ids that already
-    // fired were removed from the heap, so probing the tombstone set at pop
-    // time is harmless but the live count must stay accurate. We detect
-    // already-fired ids by the fact that pop() erases them from cancelled_
-    // lazily; to keep O(1) we instead never insert fired ids: callers hold
-    // ids only until their event fires. Defensive: clamp at zero.
-    if (live_count_ > 0) --live_count_;
-  }
-}
-
-SimTime EventQueue::next_time() const {
-  assert(!heap_.empty());
-  // const_cast-free peek: tombstoned entries may sit on top; they are skipped
-  // in pop(), but next_time() must report the first *live* entry. Rather than
-  // mutate in a const method, scan by copy of the heap top chain — in
-  // practice tombstones are rare, so pop-side cleanup keeps the top live
-  // almost always. To stay exact we do the cleanup here via const_cast, which
-  // preserves logical state.
-  auto* self = const_cast<EventQueue*>(this);
-  self->skip_tombstones();
-  return heap_.front().time;
-}
-
-void EventQueue::skip_tombstones() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.front().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
-
-EventQueue::Fired EventQueue::pop() {
-  skip_tombstones();
-  assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= slab_.size()) return;
+  Rec& rec = slab_[slot];
+  if (!rec.live || rec.gen != gen) return;  // fired or cancelled: no-op
+  // O(1): invalidate in place; whichever container holds the record
+  // reclaims the slot when it reaches it.
+  kill_rec(slot);
+  assert(live_count_ > 0);
   --live_count_;
-  return Fired{e.time, std::move(e.cb)};
 }
 
 void EventQueue::clear() {
-  heap_.clear();
-  cancelled_.clear();
+  // Rebuild the free list wholesale; bump generations of records that were
+  // still live so stale EventIds from before the clear() stay invalid.
+  free_head_ = kNoFree;
+  for (std::uint32_t i = static_cast<std::uint32_t>(slab_.size()); i-- > 0;) {
+    if (slab_[i].live) kill_rec(i);
+    push_free(i);
+  }
+  cur_.clear();
+  overflow_.clear();
+  for (auto& level : bucket_head_) level.fill(kNoFree);
+  for (auto& level : occ_) level.fill(0);
   live_count_ = 0;
+  pos_ = 0;
 }
 
 }  // namespace nfvsb::core

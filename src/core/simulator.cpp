@@ -1,5 +1,7 @@
 #include "core/simulator.h"
 
+#include <utility>
+
 namespace nfvsb::core {
 
 void Simulator::run_until(SimTime until) {
@@ -25,8 +27,103 @@ void Simulator::run() {
 
 void Simulator::reset() {
   events_.clear();
+  for (std::uint32_t i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].live) free_timer(i);
+  }
   now_ = 0;
   events_processed_ = 0;
+}
+
+std::uint32_t Simulator::alloc_timer() {
+  if (timer_free_head_ != kNoFreeTimer) {
+    const std::uint32_t slot = timer_free_head_;
+    timer_free_head_ = timers_[slot].next_free;
+    return slot;
+  }
+  timers_.emplace_back();
+  return static_cast<std::uint32_t>(timers_.size() - 1);
+}
+
+void Simulator::free_timer(std::uint32_t slot) {
+  RecTimer& t = timers_[slot];
+  t.live = false;
+  t.adaptive = RecurringFn{};
+  t.periodic = EventFn{};
+  t.pending = EventQueue::kInvalidEvent;
+  if (++t.gen == 0) t.gen = 1;
+  t.next_free = timer_free_head_;
+  timer_free_head_ = slot;
+}
+
+Simulator::TimerId Simulator::arm_timer(std::uint32_t slot,
+                                        SimDuration delay) {
+  RecTimer& t = timers_[slot];
+  const std::uint32_t gen = t.gen;
+  t.pending = schedule_in(delay, [this, slot, gen] { fire_timer(slot, gen); });
+  return (static_cast<TimerId>(gen) << 32) | slot;
+}
+
+Simulator::TimerId Simulator::schedule_every(SimDuration first_delay,
+                                             SimDuration period, EventFn fn) {
+  if (period < 0) period = 0;
+  const std::uint32_t slot = alloc_timer();
+  RecTimer& t = timers_[slot];
+  t.periodic = std::move(fn);
+  t.period = period;
+  t.live = true;
+  return arm_timer(slot, first_delay);
+}
+
+Simulator::TimerId Simulator::schedule_every(SimDuration first_delay,
+                                             RecurringFn fn) {
+  const std::uint32_t slot = alloc_timer();
+  RecTimer& t = timers_[slot];
+  t.adaptive = std::move(fn);
+  t.period = kStopTimer;
+  t.live = true;
+  return arm_timer(slot, first_delay);
+}
+
+void Simulator::fire_timer(std::uint32_t slot, std::uint32_t gen) {
+  {
+    RecTimer& t = timers_[slot];
+    if (!t.live || t.gen != gen) return;  // cancelled while in flight
+    t.pending = EventQueue::kInvalidEvent;
+  }
+  // Invoke through a local, not in place: the callback can start another
+  // recurring timer, growing timers_ and moving the stored fn's inline
+  // buffer out from under the in-flight call. It can also cancel this timer
+  // (bumping the slot's generation), so revalidate before restoring.
+  SimDuration next;
+  if (timers_[slot].period >= 0) {
+    EventFn fn = std::move(timers_[slot].periodic);
+    fn();
+    RecTimer& t = timers_[slot];
+    if (!t.live || t.gen != gen) return;  // self-cancelled
+    t.periodic = std::move(fn);
+    next = t.period;
+  } else {
+    RecurringFn fn = std::move(timers_[slot].adaptive);
+    next = fn();
+    RecTimer& t = timers_[slot];
+    if (!t.live || t.gen != gen) return;
+    t.adaptive = std::move(fn);
+  }
+  if (next < 0) {
+    free_timer(slot);
+    return;
+  }
+  arm_timer(slot, next);
+}
+
+void Simulator::cancel_timer(TimerId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (gen == 0 || slot >= timers_.size()) return;
+  RecTimer& t = timers_[slot];
+  if (!t.live || t.gen != gen) return;
+  if (t.pending != EventQueue::kInvalidEvent) events_.cancel(t.pending);
+  free_timer(slot);
 }
 
 }  // namespace nfvsb::core

@@ -4,13 +4,21 @@
 // servers, traffic generators) schedule callbacks; the simulator advances
 // virtual time monotonically. Determinism: identical schedules + identical
 // RNG seed => identical runs.
+//
+// Steady-state loops (generator pacing, NIC TX serialization, switch poll
+// re-arming) should use the recurring-timer API instead of re-scheduling
+// fresh closures: the callback is stored once in a timer slot and each
+// re-arm only schedules a 16-byte trampoline, so the hot loop never touches
+// the allocator (see core/event_fn.h for the fallback counter tests use to
+// assert this).
 #pragma once
 
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <stdexcept>
+#include <vector>
 
+#include "core/event_fn.h"
 #include "core/event_queue.h"
 #include "core/rng.h"
 #include "core/time.h"
@@ -42,6 +50,32 @@ class Simulator {
 
   void cancel(EventQueue::EventId id) { events_.cancel(id); }
 
+  // --- recurring timers -----------------------------------------------------
+  /// Handle for a recurring timer: slot in the low 32 bits, generation in
+  /// the high 32. 0 is never valid.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+  /// Returned by an adaptive timer callback to stop the timer.
+  static constexpr SimDuration kStopTimer = -1;
+  /// Adaptive timer callback: returns the delay to the next firing, or
+  /// kStopTimer (any negative value) to stop.
+  using RecurringFn = SmallFn<SimDuration>;
+
+  /// Fire `fn` at now()+first_delay and then every `period` until cancelled
+  /// (cancel_timer is safe from inside `fn`). The callback is stored once;
+  /// each re-arm is allocation-free.
+  TimerId schedule_every(SimDuration first_delay, SimDuration period,
+                         EventFn fn);
+
+  /// Adaptive variant: `fn` returns the delay to its next firing (clamped at
+  /// zero), or kStopTimer to stop — for loops whose period varies per
+  /// iteration (frame serialization, CPU-limited generators).
+  TimerId schedule_every(SimDuration first_delay, RecurringFn fn);
+
+  /// Stop a recurring timer. Safe on already-stopped ids and from within
+  /// the timer's own callback.
+  void cancel_timer(TimerId id);
+
   /// Run until the event set drains or `until` is reached (events at a time
   /// strictly greater than `until` remain pending; now() ends at `until`).
   void run_until(SimTime until);
@@ -49,7 +83,7 @@ class Simulator {
   /// Run until the event set drains completely.
   void run();
 
-  /// Drop all pending events and reset the clock to zero.
+  /// Drop all pending events and recurring timers; reset the clock to zero.
   void reset();
 
   [[nodiscard]] std::uint64_t events_processed() const {
@@ -58,10 +92,75 @@ class Simulator {
   [[nodiscard]] bool has_pending() const { return !events_.empty(); }
 
  private:
+  struct RecTimer {
+    RecurringFn adaptive;
+    EventFn periodic;
+    SimDuration period{kStopTimer};  // >= 0 selects the periodic callback
+    EventQueue::EventId pending{EventQueue::kInvalidEvent};
+    std::uint32_t gen{1};
+    std::uint32_t next_free{kNoFreeTimer};
+    bool live{false};
+  };
+  static constexpr std::uint32_t kNoFreeTimer = 0xffffffffu;
+
+  std::uint32_t alloc_timer();
+  void free_timer(std::uint32_t slot);
+  TimerId arm_timer(std::uint32_t slot, SimDuration delay);
+  void fire_timer(std::uint32_t slot, std::uint32_t gen);
+
   EventQueue events_;
   SimTime now_{0};
   Rng rng_;
   std::uint64_t events_processed_{0};
+  std::vector<RecTimer> timers_;
+  std::uint32_t timer_free_head_{kNoFreeTimer};
+};
+
+/// A one-shot timer that can be re-armed in place: the callback is stored
+/// once at construction, each arm_at/arm_in replaces any pending occurrence,
+/// and arming is allocation-free. Used for poll re-arms (a switch's next
+/// service round) where at most one occurrence is ever outstanding. The
+/// timer must be address-stable while armed (make it a member, not a local).
+class RearmableTimer {
+ public:
+  RearmableTimer(Simulator& sim, EventFn fn) : sim_(sim), fn_(std::move(fn)) {}
+
+  RearmableTimer(const RearmableTimer&) = delete;
+  RearmableTimer& operator=(const RearmableTimer&) = delete;
+
+  ~RearmableTimer() { cancel(); }
+
+  void arm_at(SimTime at) {
+    cancel();
+    pending_ = sim_.schedule_at(at, [this] {
+      pending_ = EventQueue::kInvalidEvent;
+      fn_();
+    });
+  }
+
+  void arm_in(SimDuration delay) {
+    cancel();
+    pending_ = sim_.schedule_in(delay, [this] {
+      pending_ = EventQueue::kInvalidEvent;
+      fn_();
+    });
+  }
+
+  void cancel() {
+    if (pending_ != EventQueue::kInvalidEvent) {
+      sim_.cancel(pending_);
+      pending_ = EventQueue::kInvalidEvent;
+    }
+  }
+
+  [[nodiscard]] bool armed() const {
+    return pending_ != EventQueue::kInvalidEvent;
+  }
+
+ private:
+  Simulator& sim_;
+  EventFn fn_;
+  EventQueue::EventId pending_{EventQueue::kInvalidEvent};
 };
 
 }  // namespace nfvsb::core

@@ -31,11 +31,30 @@ void NicPort::on_tx_enqueue() {
   if (tx_busy_) return;
   tx_busy_ = true;
   // First frame of a busy period pays the descriptor/DMA fetch latency; the
-  // rest of the burst pipelines it behind serialization.
-  sim_.schedule_in(cfg_.dma_tx_latency, [this] { serialize_next(); });
+  // rest of the burst pipelines it behind serialization. The whole busy
+  // period is one adaptive recurring timer: each firing completes the frame
+  // on the wire (if any) and returns the next frame's serialization time.
+  sim_.schedule_every(cfg_.dma_tx_latency,
+                      core::Simulator::RecurringFn([this] {
+                        return serialize_step();
+                      }));
 }
 
-void NicPort::serialize_next() {
+core::SimDuration NicPort::serialize_step() {
+  if (tx_in_flight_ != nullptr) {
+    // The frame's last bit just left the MAC: deliver (and HW-timestamp) it.
+    pkt::PacketHandle frame{tx_in_flight_};
+    tx_in_flight_ = nullptr;
+    ++tx_frames_;
+    if (cfg_.hw_timestamping && frame->probe_id != 0 &&
+        frame->tx_timestamp == 0) {
+      frame->tx_timestamp = sim_.now();
+    }
+    if (cable_ != nullptr) {
+      cable_->transmit(*this, std::move(frame));
+    }
+    // No cable: frame vanishes (unplugged port), handle frees it.
+  }
   // Round-robin across TX queues (82599 WRR with equal weights).
   pkt::PacketHandle p;
   for (std::size_t k = 0; k < tx_rings_.size(); ++k) {
@@ -48,25 +67,12 @@ void NicPort::serialize_next() {
   }
   if (!p) {
     tx_busy_ = false;
-    return;
+    return core::Simulator::kStopTimer;
   }
+  // The frame occupies the wire until `ser` from now.
   const core::SimDuration ser = cfg_.rate.serialization_time(p->size());
-  // The frame occupies the wire until `ser` from now; it is delivered (and
-  // HW-timestamped) when its last bit leaves the MAC.
-  auto* raw = p.release();
-  sim_.schedule_in(ser, [this, raw] {
-    pkt::PacketHandle frame{raw};
-    ++tx_frames_;
-    if (cfg_.hw_timestamping && frame->probe_id != 0 &&
-        frame->tx_timestamp == 0) {
-      frame->tx_timestamp = sim_.now();
-    }
-    if (cable_ != nullptr) {
-      cable_->transmit(*this, std::move(frame));
-    }
-    // No cable: frame vanishes (unplugged port), handle frees it.
-    serialize_next();
-  });
+  tx_in_flight_ = p.release();
+  return ser;
 }
 
 std::size_t NicPort::rss_queue(const pkt::Packet& p) const {

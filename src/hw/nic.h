@@ -90,7 +90,9 @@ class NicPort {
 
  private:
   void on_tx_enqueue();
-  void serialize_next();
+  /// One firing of the TX busy-period timer: finish the in-flight frame (if
+  /// any), fetch the next, return its serialization time (or stop).
+  core::SimDuration serialize_step();
   [[nodiscard]] std::size_t rss_queue(const pkt::Packet& p) const;
 
   core::Simulator& sim_;
@@ -100,6 +102,8 @@ class NicPort {
   std::vector<std::unique_ptr<ring::SpscRing>> tx_rings_;
   Cable* cable_{nullptr};
   bool tx_busy_{false};
+  /// Frame currently occupying the wire (owned; delivered by the TX timer).
+  pkt::Packet* tx_in_flight_{nullptr};
   std::size_t tx_rr_{0};
   std::uint64_t tx_frames_{0};
   std::uint64_t rx_frames_{0};

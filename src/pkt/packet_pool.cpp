@@ -5,15 +5,15 @@
 
 namespace nfvsb::pkt {
 
-PacketPool::PacketPool(std::size_t capacity) : capacity_(capacity) {
-  storage_.reserve(capacity_);
+PacketPool::PacketPool(std::size_t capacity)
+    // Packet's ctor is private; the new[] is legal here because PacketPool
+    // is a friend.
+    : capacity_(capacity), slab_(new Packet[capacity]) {
   for (std::size_t i = 0; i < capacity_; ++i) {
-    // Packet's ctor is private; construct via explicit new into unique_ptr.
-    auto* raw = new Packet();  // owned immediately below
-    storage_.emplace_back(raw);
-    raw->owner_ = this;
-    raw->pool_next_ = free_list_;
-    free_list_ = raw;
+    Packet& p = slab_[i];
+    p.owner_ = this;
+    p.pool_next_ = free_list_;
+    free_list_ = &p;
   }
 }
 
@@ -58,6 +58,7 @@ PacketHandle PacketPool::clone(const Packet& src) {
 
 void PacketPool::free_packet(Packet* p) {
   assert(p->owner_ == this);
+  assert(owns(p));
   assert(outstanding_ > 0);
   p->pool_next_ = free_list_;
   free_list_ = p;

@@ -4,11 +4,14 @@
 // observable condition (DPDK mempool depletion) surfaced as allocate()
 // returning an empty handle. Pools also give tests a leak detector:
 // outstanding() must return to zero when a scenario drains.
+//
+// Storage is one contiguous slab of fixed 1600-byte buffers (like a DPDK
+// mempool's backing memzone), not per-packet heap nodes: one allocation per
+// pool, and neighbouring packets share cache lines/pages.
 #pragma once
 
 #include <cstddef>
 #include <memory>
-#include <vector>
 
 #include "pkt/packet.h"
 
@@ -36,6 +39,12 @@ class PacketPool {
   }
   [[nodiscard]] std::uint64_t alloc_failures() const { return alloc_failures_; }
 
+  /// True when `p` is a buffer of this pool's slab (range check; used by
+  /// audits and tests, not the data path).
+  [[nodiscard]] bool owns(const Packet* p) const {
+    return p != nullptr && p >= slab_.get() && p < slab_.get() + capacity_;
+  }
+
  private:
   friend class PacketHandle;
   void free_packet(Packet* p);
@@ -43,7 +52,7 @@ class PacketPool {
   std::size_t capacity_;
   std::size_t outstanding_{0};
   std::uint64_t alloc_failures_{0};
-  std::vector<std::unique_ptr<Packet>> storage_;
+  std::unique_ptr<Packet[]> slab_;
   Packet* free_list_{nullptr};
 };
 

@@ -13,7 +13,8 @@ SwitchBase::SwitchBase(core::Simulator& sim, hw::CpuCore& core,
       core_(core),
       name_(std::move(name)),
       cost_(cost),
-      rng_(sim.rng().split()) {}
+      rng_(sim.rng().split()),
+      run_round_timer_(sim, core::EventFn([this] { run_round(); })) {}
 
 ring::Port& SwitchBase::attach_nic(hw::NicPort& nic) {
   auto p = std::make_unique<ring::RingPort>(
@@ -111,7 +112,7 @@ void SwitchBase::on_enqueue(std::size_t port_idx, bool became_nonempty) {
 void SwitchBase::wake(core::SimDuration latency) {
   active_ = true;
   if (latency > 0) {
-    sim_.schedule_in(latency, [this] { run_round(); });
+    run_round_timer_.arm_in(latency);
   } else {
     run_round();
   }
@@ -231,7 +232,7 @@ void SwitchBase::continue_or_idle() {
     const core::SimTime at =
         std::max(sim_.now(), last_irq_ + cost_.interrupt_coalescing);
     last_irq_ = at;
-    sim_.schedule_at(at, [this] { run_round(); });
+    run_round_timer_.arm_at(at);
     return;
   }
   active_ = false;

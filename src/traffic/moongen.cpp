@@ -30,15 +30,22 @@ void MoonGen::start_tx(core::SimTime at, core::SimTime until) {
   // Probes start once meters are open so warm-up artifacts (JIT traces,
   // cold caches) do not pollute the latency distribution.
   next_probe_at_ = std::max(at, cfg_.meter_open_at);
-  sim_.schedule_at(at, [this] { emit_one(); });
+  // The pacing clock is one recurring timer: the emit callback is stored
+  // once and each re-arm is allocation-free, instead of a fresh closure per
+  // emitted frame.
+  sim_.schedule_every(at - sim_.now(), core::Simulator::RecurringFn([this] {
+                        if (sim_.now() >= tx_until_) {
+                          return core::Simulator::kStopTimer;
+                        }
+                        emit_one();
+                        return gap();
+                      }));
 }
 
 void MoonGen::emit_one() {
-  if (sim_.now() >= tx_until_) return;
   pkt::PacketHandle p = pool_.allocate();
   if (!p) {
     ++pool_exhausted_;
-    schedule_next();
     return;
   }
   pkt::FrameSpec frame = cfg_.frame;
@@ -62,13 +69,11 @@ void MoonGen::emit_one() {
   } else {
     ++tx_failed_;
   }
-  schedule_next();
 }
 
-void MoonGen::schedule_next() {
-  const auto gap = static_cast<core::SimDuration>(
-      static_cast<double>(core::kSecond) / pace_pps_);
-  sim_.schedule_in(gap, [this] { emit_one(); });
+core::SimDuration MoonGen::gap() const {
+  return static_cast<core::SimDuration>(static_cast<double>(core::kSecond) /
+                                        pace_pps_);
 }
 
 bool MoonGen::send(pkt::PacketHandle p) {

@@ -80,7 +80,7 @@ class MoonGen {
 
  private:
   void emit_one();
-  void schedule_next();
+  [[nodiscard]] core::SimDuration gap() const;
   bool send(pkt::PacketHandle p);
   void on_rx(const pkt::Packet& p, core::SimTime now);
 

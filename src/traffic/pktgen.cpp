@@ -28,11 +28,17 @@ void PktGen::start_tx(core::SimTime at, core::SimTime until) {
   assert(tx_port_ != nullptr && "attach TX first");
   tx_until_ = until;
   next_probe_at_ = at;
-  sim_.schedule_at(at, [this] { emit_one(); });
+  // One recurring timer paces the whole run; re-arms are allocation-free.
+  sim_.schedule_every(at - sim_.now(), core::Simulator::RecurringFn([this] {
+                        if (sim_.now() >= tx_until_) {
+                          return core::Simulator::kStopTimer;
+                        }
+                        emit_one();
+                        return gap();
+                      }));
 }
 
 void PktGen::emit_one() {
-  if (sim_.now() >= tx_until_) return;
   pkt::PacketHandle p = pool_.allocate();
   if (p) {
     pkt::craft_udp_frame(*p, cfg_.frame);
@@ -50,7 +56,6 @@ void PktGen::emit_one() {
       ++tx_failed_;  // netmap ring full: pkt-gen spins and retries
     }
   }
-  sim_.schedule_in(gap(), [this] { emit_one(); });
 }
 
 void PktGen::attach_rx(ring::GuestPort& port) {

@@ -1,0 +1,355 @@
+// Regression and stress tests for the timing-wheel event engine:
+// slot+generation cancellation handles, next_time logical constness,
+// EventFn inline storage, recurring timers, and wheel boundary behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/event_fn.h"
+#include "core/event_queue.h"
+#include "core/simulator.h"
+#include "core/time.h"
+
+namespace nfvsb::core {
+namespace {
+
+// --- cancellation handles (satellite: cancel-after-fire fix) ----------------
+
+TEST(EventQueueCancel, CancelAfterFireIsNoOp) {
+  // The seed's tombstone-set queue miscounted here: cancelling an id that
+  // had already fired inserted a tombstone and decremented the live count,
+  // silently swallowing a later unrelated event. Generation handles detect
+  // the stale id instead.
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  bool survivor_fired = false;
+  q.schedule(20, [&] { survivor_fired = true; });
+  q.pop().cb();  // fires the id=.. event
+  q.cancel(id);  // stale: must not affect anything
+  EXPECT_EQ(q.size(), 1u);
+  ASSERT_FALSE(q.empty());
+  q.pop().cb();
+  EXPECT_TRUE(survivor_fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancel, DoubleCancelIsNoOp) {
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  q.cancel(id);  // second cancel of the same id
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().time, 20);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueCancel, StaleIdDoesNotHitReusedSlot) {
+  // After an event fires, its slab slot is recycled for the next schedule
+  // with a bumped generation. The old id must not cancel the new tenant.
+  EventQueue q;
+  const auto old_id = q.schedule(10, [] {});
+  q.pop();  // slot freed, generation bumped
+  bool fired = false;
+  q.schedule(20, [&] { fired = true; });
+  q.cancel(old_id);
+  ASSERT_FALSE(q.empty());
+  q.pop().cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueCancel, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const auto id = q.schedule(10, [] {});
+  q.clear();
+  bool fired = false;
+  q.schedule(10, [&] { fired = true; });
+  q.cancel(id);  // pre-clear handle: must be dead
+  ASSERT_FALSE(q.empty());
+  q.pop().cb();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueCancel, CancelHeadThenScheduleEarlier) {
+  // Cancelling the earliest entry leaves a stale ref at the top of the
+  // current bucket; a subsequent earlier schedule must still fire first.
+  EventQueue q;
+  bool wrong = false;
+  const auto head = q.schedule(5, [&] { wrong = true; });
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+  q.cancel(head);
+  bool early = false;
+  q.schedule(7, [&] { early = true; });
+  EXPECT_EQ(q.next_time(), 7);
+  q.pop().cb();
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(wrong);
+}
+
+// --- next_time (satellite: const_cast removal) ------------------------------
+
+TEST(EventQueueNextTime, StableAcrossRepeatedCallsWithCancelledHead) {
+  // next_time() may advance the wheel cursor internally but must be
+  // logically const: repeated calls return the same answer and never
+  // change what pop() delivers, even when cancelled entries sit in front.
+  EventQueue q;
+  std::array<EventQueue::EventId, 3> doomed{};
+  doomed[0] = q.schedule(10, [] {});
+  doomed[1] = q.schedule(20, [] {});
+  doomed[2] = q.schedule(30, [] {});
+  q.schedule(40, [] {});
+  for (auto id : doomed) q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 40);
+  EXPECT_EQ(q.next_time(), 40);  // idempotent
+  EXPECT_EQ(q.next_time(), 40);
+  const auto fired = q.pop();
+  EXPECT_EQ(fired.time, 40);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueNextTime, SeesThroughCancelledFarFutureHead) {
+  EventQueue q;
+  const auto far = q.schedule(from_ms(50), [] {});
+  q.schedule(from_ms(80), [] {});
+  q.cancel(far);
+  EXPECT_EQ(q.next_time(), from_ms(80));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+// --- wheel boundaries -------------------------------------------------------
+
+TEST(EventQueueWheel, OrdersAcrossAllLevelSpans) {
+  // One event per wheel level plus one beyond the horizon (the overflow
+  // heap), scheduled in shuffled order; pops must be globally sorted.
+  EventQueue q;
+  const std::vector<SimTime> times = {
+      SimTime{1} << 12,  // level 0
+      SimTime{1} << 25,  // level 1
+      SimTime{1} << 35,  // level 2
+      SimTime{1} << 45,  // level 3
+      SimTime{1} << 55,  // level 4
+      SimTime{1} << 61,  // beyond the 2^60 ps horizon: overflow heap
+      3,
+  };
+  for (std::size_t i = times.size(); i-- > 0;) q.schedule(times[i], [] {});
+  std::vector<SimTime> popped;
+  while (!q.empty()) popped.push_back(q.pop().time);
+  std::vector<SimTime> want = times;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(popped, want);
+}
+
+TEST(EventQueueWheel, CancelledOverflowEntryNeverFires) {
+  EventQueue q;
+  bool fired = false;
+  const auto id = q.schedule(SimTime{1} << 61, [&] { fired = true; });
+  q.schedule((SimTime{1} << 61) + 7, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.pop().time, (SimTime{1} << 61) + 7);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueWheel, ScheduleBehindCursorFiresImmediately) {
+  // Zero-delay re-schedules land at/behind the wheel cursor and must still
+  // fire, after any same-time events scheduled earlier.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(100, [&] { order.push_back(1); });
+  q.schedule(100, [&] { order.push_back(2); });
+  auto f = q.pop();
+  f.cb();  // fires 1; cursor now past tick(100)
+  q.schedule(100, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueWheel, DifferentialOrderAgainstReference) {
+  // Exact (time, schedule-sequence) order against a multimap reference,
+  // with interleaved schedules, cancels and pops across bucket spans.
+  EventQueue q;
+  std::multimap<std::pair<SimTime, std::uint64_t>, int> ref;
+  std::vector<std::pair<EventQueue::EventId,
+                        std::multimap<std::pair<SimTime, std::uint64_t>,
+                                      int>::iterator>>
+      live;
+  std::uint64_t x = 0x243f6a8885a308d3ULL;
+  std::uint64_t seq = 0;
+  SimTime now = 0;
+  int tag = 0;
+  for (int round = 0; round < 400; ++round) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto r = x >> 33;
+    if (r % 5 < 3 || live.empty()) {
+      // Spread delays across level-0, level-1+ and (rarely) overflow spans.
+      SimTime delay = 1 + static_cast<SimTime>(r % 1'000'000);
+      if (r % 97 == 0) delay = (SimTime{1} << 61) - now;
+      const SimTime at = now + delay;
+      const auto id = q.schedule(at, [] {});
+      live.emplace_back(id, ref.emplace(std::make_pair(at, seq++), tag++));
+    } else if (r % 5 == 3) {
+      const auto victim = r % live.size();
+      q.cancel(live[victim].first);
+      ref.erase(live[victim].second);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    } else if (!q.empty()) {
+      ASSERT_FALSE(ref.empty());
+      EXPECT_EQ(q.next_time(), ref.begin()->first.first);
+      const auto fired = q.pop();
+      EXPECT_EQ(fired.time, ref.begin()->first.first);
+      now = fired.time;
+      // Drop the fired event from the shadow structures.
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].second == ref.begin()) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      ref.erase(ref.begin());
+    }
+    ASSERT_EQ(q.size(), ref.size());
+  }
+  while (!q.empty()) {
+    EXPECT_EQ(q.pop().time, ref.begin()->first.first);
+    ref.erase(ref.begin());
+  }
+  EXPECT_TRUE(ref.empty());
+}
+
+// --- EventFn storage --------------------------------------------------------
+
+TEST(EventFnStorage, DataPathCapturesStayInline) {
+  SmallFn<void>::reset_heap_fallback_count();
+  int sink = 0;
+  void* self = &sink;
+  std::uint64_t a = 1, b = 2, c = 3;
+  // 32 bytes of capture: over std::function's buffer, inside EventFn's.
+  EventFn fn([&sink, self, a, b, c] {
+    sink = static_cast<int>(a + b + c) + (self != nullptr ? 1 : 0);
+  });
+  EXPECT_FALSE(fn.on_heap());
+  EXPECT_EQ(SmallFn<void>::heap_fallback_count(), 0u);
+  fn();
+  EXPECT_EQ(sink, 7);
+}
+
+TEST(EventFnStorage, OversizedCaptureSpillsAndCounts) {
+  SmallFn<void>::reset_heap_fallback_count();
+  std::array<std::uint64_t, 9> big{};  // 72 bytes > 48-byte inline buffer
+  big[0] = 41;
+  std::uint64_t out = 0;
+  EventFn fn([big, &out] { out = big[0] + 1; });
+  EXPECT_TRUE(fn.on_heap());
+  EXPECT_EQ(SmallFn<void>::heap_fallback_count(), 1u);
+  // Moves of a spilled callable transfer the pointer, not a fresh spill.
+  EventFn moved = std::move(fn);
+  EXPECT_EQ(SmallFn<void>::heap_fallback_count(), 1u);
+  moved();
+  EXPECT_EQ(out, 42u);
+}
+
+// --- recurring timers -------------------------------------------------------
+
+TEST(RecurringTimer, PeriodicFiresAtFixedCadence) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.schedule_every(100, 250, EventFn([&] { fires.push_back(sim.now()); }));
+  sim.run_until(1'000);
+  EXPECT_EQ(fires, (std::vector<SimTime>{100, 350, 600, 850}));
+}
+
+TEST(RecurringTimer, AdaptiveControlsItsOwnPeriodAndStops) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.schedule_every(10, Simulator::RecurringFn([&]() -> SimDuration {
+                       fires.push_back(sim.now());
+                       if (fires.size() >= 3) return Simulator::kStopTimer;
+                       return static_cast<SimDuration>(100 * fires.size());
+                     }));
+  sim.run();
+  // 10, +100, +200, then the callback stops itself.
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 110, 310}));
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(RecurringTimer, CancelTimerStopsFutureFirings) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_every(10, 10, EventFn([&] { ++fired; }));
+  sim.schedule_in(35, [&] { sim.cancel_timer(id); });
+  sim.run_until(200);
+  EXPECT_EQ(fired, 3);  // t=10,20,30; cancelled before t=40
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(RecurringTimer, SelfCancelFromInsideCallback) {
+  Simulator sim;
+  int fired = 0;
+  Simulator::TimerId id = Simulator::kInvalidTimer;
+  id = sim.schedule_every(10, 10, EventFn([&] {
+                            if (++fired == 2) sim.cancel_timer(id);
+                          }));
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.has_pending());
+}
+
+TEST(RecurringTimer, CancelStaleTimerIdIsSafe) {
+  Simulator sim;
+  const auto id = sim.schedule_every(
+      10, Simulator::RecurringFn([]() -> SimDuration {
+        return Simulator::kStopTimer;  // stops after first firing
+      }));
+  int fired = 0;
+  sim.run();
+  sim.cancel_timer(id);  // timer already stopped itself
+  // The freed slot may be reused; the stale id must not kill the new timer.
+  const auto id2 = sim.schedule_every(10, 10, EventFn([&] { ++fired; }));
+  sim.cancel_timer(id);
+  sim.run_until(sim.now() + 25);
+  EXPECT_GE(fired, 2);
+  sim.cancel_timer(id2);
+}
+
+TEST(RecurringTimer, SteadyStateIsAllocationFree) {
+  // The acceptance bar for the recurring-timer path: once armed, re-arms
+  // must never spill a callback to the heap.
+  Simulator sim;
+  std::uint64_t fired = 0;
+  sim.schedule_every(0, 67'200, EventFn([&fired] { ++fired; }));
+  sim.run_until(from_us(10));  // prime the loop
+  const auto before = SmallFn<void>::heap_fallback_count();
+  sim.run_until(from_ms(1));  // ~14.9k further firings
+  EXPECT_GT(fired, 14'000u);
+  EXPECT_EQ(SmallFn<void>::heap_fallback_count(), before);
+}
+
+TEST(RearmableTimerTest, ReArmReplacesPendingOccurrence) {
+  Simulator sim;
+  int fired = 0;
+  RearmableTimer t(sim, EventFn([&] { ++fired; }));
+  t.arm_in(100);
+  t.arm_in(500);  // replaces the t=100 occurrence
+  EXPECT_TRUE(t.armed());
+  sim.run_until(300);
+  EXPECT_EQ(fired, 0);
+  sim.run_until(600);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  t.arm_at(sim.now() + 10);
+  t.cancel();
+  sim.run_until(1'000);
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace nfvsb::core

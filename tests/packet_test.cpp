@@ -1,6 +1,7 @@
 // Packet pool and handle lifecycle.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -110,6 +111,39 @@ TEST(Packet, ResizeWithinBounds) {
   p->resize(kMaxFrameBytes);
   EXPECT_EQ(p->size(), kMaxFrameBytes);
   EXPECT_EQ(p->bytes().size(), kMaxFrameBytes);
+}
+
+TEST(PacketPool, SlabIsContiguous) {
+  // Storage is one slab of fixed 1600-byte buffers: every allocated packet
+  // sits at a sizeof(Packet) multiple from the slab base.
+  PacketPool pool(32);
+  std::vector<PacketHandle> held;
+  for (int i = 0; i < 32; ++i) {
+    auto p = pool.allocate();
+    ASSERT_TRUE(p);
+    held.push_back(std::move(p));
+  }
+  const auto* base = reinterpret_cast<const unsigned char*>(held[0].get());
+  const auto* lo = base;
+  const auto* hi = base;
+  for (const auto& h : held) {
+    const auto* q = reinterpret_cast<const unsigned char*>(h.get());
+    lo = std::min(lo, q);
+    hi = std::max(hi, q);
+    EXPECT_TRUE(pool.owns(h.get()));
+  }
+  EXPECT_EQ(static_cast<std::size_t>(hi - lo) % sizeof(Packet), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(hi - lo), 31 * sizeof(Packet));
+}
+
+TEST(PacketPool, OwnsRejectsForeignPointers) {
+  PacketPool a(2);
+  PacketPool b(2);
+  PacketHandle pa = a.allocate();
+  PacketHandle pb = b.allocate();
+  EXPECT_TRUE(a.owns(pa.get()));
+  EXPECT_FALSE(a.owns(pb.get()));
+  EXPECT_FALSE(a.owns(nullptr));
 }
 
 TEST(PacketPool, ManyPacketsStressWithVector) {
