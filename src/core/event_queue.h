@@ -49,7 +49,7 @@ class EventQueue {
 
   /// Schedule `cb` at absolute time `at`. Defined inline below — this is
   /// the hottest call in the simulator.
-  EventId schedule(SimTime at, Callback cb);
+  [[nodiscard]] EventId schedule(SimTime at, Callback cb);
 
   /// Cancel a previously scheduled event. O(1). Safe (and a no-op) on
   /// already-fired, already-cancelled, and never-issued ids.
@@ -118,7 +118,7 @@ class EventQueue {
     }
   };
 
-  static std::uint64_t tick_of(SimTime t) {
+  [[nodiscard]] static std::uint64_t tick_of(SimTime t) {
     return t <= 0 ? 0 : static_cast<std::uint64_t>(t) >> kTickShift;
   }
 

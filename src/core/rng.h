@@ -14,7 +14,7 @@ class Rng {
   explicit Rng(std::uint64_t seed);
 
   /// Uniform 64-bit value.
-  std::uint64_t next_u64();
+  [[nodiscard]] std::uint64_t next_u64();
 
   /// Uniform double in [0, 1).
   double uniform();
@@ -23,7 +23,7 @@ class Rng {
   double uniform(double lo, double hi);
 
   /// Uniform integer in [0, n). Pre: n > 0.
-  std::uint64_t uniform_index(std::uint64_t n);
+  [[nodiscard]] std::uint64_t uniform_index(std::uint64_t n);
 
   /// Exponential with the given mean (> 0).
   double exponential(double mean);
@@ -39,7 +39,7 @@ class Rng {
   double lognormal_mean_cv(double mean, double cv);
 
   /// Bernoulli trial.
-  bool chance(double p) { return uniform() < p; }
+  [[nodiscard]] bool chance(double p) { return uniform() < p; }
 
   /// Derive an independent child stream (for per-component RNGs).
   Rng split();

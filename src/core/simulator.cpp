@@ -113,7 +113,8 @@ void Simulator::fire_timer(std::uint32_t slot, std::uint32_t gen) {
     free_timer(slot);
     return;
   }
-  arm_timer(slot, next);
+  // Re-arm keeps the slot/gen pair, so the caller's original id stays valid.
+  (void)arm_timer(slot, next);
 }
 
 void Simulator::cancel_timer(TimerId id) {

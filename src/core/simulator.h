@@ -36,16 +36,29 @@ class Simulator {
   [[nodiscard]] Rng& rng() { return rng_; }
 
   /// Schedule `cb` `delay` picoseconds from now. Negative delays are clamped
-  /// to zero (events cannot run in the past).
-  EventQueue::EventId schedule_in(SimDuration delay, EventQueue::Callback cb) {
+  /// to zero (events cannot run in the past). The returned id is the only
+  /// way to cancel — callers that never cancel use post_in() instead.
+  [[nodiscard]] EventQueue::EventId schedule_in(SimDuration delay,
+                                                EventQueue::Callback cb) {
     if (delay < 0) delay = 0;
     return events_.schedule(now_ + delay, std::move(cb));
   }
 
   /// Schedule at an absolute time; `at` earlier than now() is clamped.
-  EventQueue::EventId schedule_at(SimTime at, EventQueue::Callback cb) {
+  [[nodiscard]] EventQueue::EventId schedule_at(SimTime at,
+                                                EventQueue::Callback cb) {
     if (at < now_) at = now_;
     return events_.schedule(at, std::move(cb));
+  }
+
+  /// Fire-and-forget variants for events that are never cancelled (DMA
+  /// completions, wire propagation, drain deadlines). Same semantics as
+  /// schedule_in/schedule_at, but deliberately without a handle.
+  void post_in(SimDuration delay, EventQueue::Callback cb) {
+    (void)schedule_in(delay, std::move(cb));
+  }
+  void post_at(SimTime at, EventQueue::Callback cb) {
+    (void)schedule_at(at, std::move(cb));
   }
 
   void cancel(EventQueue::EventId id) { events_.cancel(id); }
@@ -63,14 +76,16 @@ class Simulator {
 
   /// Fire `fn` at now()+first_delay and then every `period` until cancelled
   /// (cancel_timer is safe from inside `fn`). The callback is stored once;
-  /// each re-arm is allocation-free.
-  TimerId schedule_every(SimDuration first_delay, SimDuration period,
-                         EventFn fn);
+  /// each re-arm is allocation-free. Adaptive timers that always stop
+  /// themselves (returning kStopTimer) may drop the id with (void).
+  [[nodiscard]] TimerId schedule_every(SimDuration first_delay,
+                                       SimDuration period, EventFn fn);
 
   /// Adaptive variant: `fn` returns the delay to its next firing (clamped at
   /// zero), or kStopTimer to stop — for loops whose period varies per
   /// iteration (frame serialization, CPU-limited generators).
-  TimerId schedule_every(SimDuration first_delay, RecurringFn fn);
+  [[nodiscard]] TimerId schedule_every(SimDuration first_delay,
+                                       RecurringFn fn);
 
   /// Stop a recurring timer. Safe on already-stopped ids and from within
   /// the timer's own callback.
@@ -105,7 +120,7 @@ class Simulator {
 
   std::uint32_t alloc_timer();
   void free_timer(std::uint32_t slot);
-  TimerId arm_timer(std::uint32_t slot, SimDuration delay);
+  [[nodiscard]] TimerId arm_timer(std::uint32_t slot, SimDuration delay);
   void fire_timer(std::uint32_t slot, std::uint32_t gen);
 
   EventQueue events_;

@@ -17,7 +17,7 @@ void Cable::transmit(NicPort& from, pkt::PacketHandle p) {
   NicPort& to = (&from == &a_) ? b_ : a_;
   assert(&from == &a_ || &from == &b_);
   auto* raw = p.release();
-  sim_.schedule_in(propagation_, [&to, raw] {
+  sim_.post_in(propagation_, [&to, raw] {
     to.deliver_from_wire(pkt::PacketHandle{raw});
   });
 }

@@ -4,7 +4,7 @@
 
 namespace nfvsb::hw {
 
-void CpuCore::submit(core::SimDuration work, std::function<void()> done) {
+void CpuCore::submit(core::SimDuration work, core::EventFn done) {
   queue_.push_back(Job{work, std::move(done)});
   if (!busy_) start_next();
 }
@@ -18,10 +18,16 @@ void CpuCore::start_next() {
   Job job = std::move(queue_.front());
   queue_.pop_front();
   busy_time_ += job.work;
-  sim_.schedule_in(job.work, [this, done = std::move(job.done)]() {
-    done();
-    start_next();
-  });
+  current_done_ = std::move(job.done);
+  sim_.post_in(job.work, [this] { finish_current(); });
+}
+
+void CpuCore::finish_current() {
+  // Move out first: done() may submit follow-up work, and start_next()
+  // reuses the slot for the next job.
+  core::EventFn done = std::move(current_done_);
+  if (done) done();
+  start_next();
 }
 
 double CpuCore::utilization() const {

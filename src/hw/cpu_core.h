@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "core/event_fn.h"
 #include "core/simulator.h"
 #include "core/time.h"
 
@@ -27,7 +27,7 @@ class CpuCore {
 
   /// Run `work` simulated time of computation as soon as the core frees up,
   /// then invoke `done`. FIFO among submissions.
-  void submit(core::SimDuration work, std::function<void()> done);
+  void submit(core::SimDuration work, core::EventFn done);
 
   [[nodiscard]] bool idle() const { return !busy_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -41,10 +41,11 @@ class CpuCore {
 
  private:
   void start_next();
+  void finish_current();
 
   struct Job {
     core::SimDuration work;
-    std::function<void()> done;
+    core::EventFn done;
   };
 
   core::Simulator& sim_;
@@ -52,6 +53,11 @@ class CpuCore {
   int numa_node_;
   bool busy_{false};
   std::deque<Job> queue_;
+  /// Completion of the in-flight job. One slot is enough (the core
+  /// serializes), and it keeps the completion event's capture down to
+  /// [this] — re-wrapping the EventFn in a closure would overflow the
+  /// inline buffer and heap-allocate per job.
+  core::EventFn current_done_;
   core::SimDuration busy_time_{0};
   core::SimTime stats_since_{0};
 };

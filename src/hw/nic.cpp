@@ -34,10 +34,12 @@ void NicPort::on_tx_enqueue() {
   // rest of the burst pipelines it behind serialization. The whole busy
   // period is one adaptive recurring timer: each firing completes the frame
   // on the wire (if any) and returns the next frame's serialization time.
-  sim_.schedule_every(cfg_.dma_tx_latency,
-                      core::Simulator::RecurringFn([this] {
-                        return serialize_step();
-                      }));
+  // Self-stopping (serialize_step returns kStopTimer when the rings drain),
+  // so the timer id is deliberately dropped.
+  (void)sim_.schedule_every(cfg_.dma_tx_latency,
+                            core::Simulator::RecurringFn([this] {
+                              return serialize_step();
+                            }));
 }
 
 core::SimDuration NicPort::serialize_step() {
@@ -90,7 +92,7 @@ void NicPort::deliver_from_wire(pkt::PacketHandle p) {
   }
   const std::size_t q = rss_queue(*p);
   auto* raw = p.release();
-  sim_.schedule_in(cfg_.dma_rx_latency, [this, q, raw] {
+  sim_.post_in(cfg_.dma_rx_latency, [this, q, raw] {
     rx_rings_[q]->enqueue(pkt::PacketHandle{raw});  // overflow => imissed
   });
 }

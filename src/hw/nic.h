@@ -16,7 +16,6 @@
 //    MoonGen for RTT measurement (Sec. 5.3).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -85,7 +84,7 @@ class NicPort {
   /// probe frame arrives — how MoonGen reads RX timestamps off the NIC.
   /// The frame reference is only valid during the call.
   using RxTimestampHook =
-      std::function<void(const pkt::Packet&, core::SimTime)>;
+      core::SmallFn<void, const pkt::Packet&, core::SimTime>;
   void set_rx_timestamp_hook(RxTimestampHook h) { rx_ts_hook_ = std::move(h); }
 
  private:

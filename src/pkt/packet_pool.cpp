@@ -7,7 +7,8 @@ namespace nfvsb::pkt {
 
 PacketPool::PacketPool(std::size_t capacity)
     // Packet's ctor is private; the new[] is legal here because PacketPool
-    // is a friend.
+    // is a friend (make_unique cannot befriend the class).
+    // nfvsb-lint: allow(naked-new)
     : capacity_(capacity), slab_(new Packet[capacity]) {
   for (std::size_t i = 0; i < capacity_; ++i) {
     Packet& p = slab_[i];

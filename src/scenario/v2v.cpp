@@ -156,7 +156,7 @@ ScenarioResult run_v2v_latency(const ScenarioConfig& cfg, Env& env,
     // after the stack traversal latency (~11 us rx+icmp+tx on the vcpu).
     vm2_port.rx_ring().set_sink([&env, &vm2_port](pkt::PacketHandle p) {
       auto held = std::make_shared<pkt::PacketHandle>(std::move(p));
-      env.sim.schedule_in(core::from_us(11), [held, &vm2_port] {
+      env.sim.post_in(core::from_us(11), [held, &vm2_port] {
         pkt::EthHeader eth((*held)->bytes());
         if (eth.valid()) {
           const auto src = eth.src();

@@ -101,7 +101,7 @@ void SwitchBase::on_enqueue(std::size_t port_idx, bool became_nonempty) {
              cost_.batch_timeout_for(ports_[port_idx]->kind()) > 0) {
     // Batch-assembly timeout: re-check when the oldest packet of this port
     // has waited long enough.
-    sim_.schedule_in(
+    sim_.post_in(
         cost_.batch_timeout_for(ports_[port_idx]->kind()) + wake_latency,
         [this] {
           if (!active_ && any_input_ready()) wake(0);
@@ -244,7 +244,7 @@ void SwitchBase::arm_timeout_checks() {
     const core::SimDuration timeout =
         cost_.batch_timeout_for(ports_[i]->kind());
     if (timeout <= 0 || ports_[i]->in().empty()) continue;
-    sim_.schedule_at(wait_since_[i] + timeout, [this] {
+    sim_.post_at(wait_since_[i] + timeout, [this] {
       if (!active_ && any_input_ready()) wake(0);
     });
   }

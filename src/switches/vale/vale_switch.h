@@ -9,9 +9,9 @@
 //  * adaptive batching (takes whatever is available; no assembly delay).
 #pragma once
 
-#include <functional>
 #include <optional>
 
+#include "core/event_fn.h"
 #include "switches/switch_base.h"
 #include "switches/vale/mac_table.h"
 
@@ -34,8 +34,8 @@ class ValeSwitch final : public SwitchBase {
   /// mSwitch-style pluggable switching logic (Honda et al., SOSR'15): when
   /// set, replaces the L2 learning lookup. Return the destination port, or
   /// nullopt to fall back to learning/flooding.
-  using LookupFn = std::function<std::optional<std::size_t>(
-      const pkt::Packet&, std::size_t in_port)>;
+  using LookupFn = core::SmallFn<std::optional<std::size_t>,
+                                 const pkt::Packet&, std::size_t>;
   void set_lookup_fn(LookupFn fn) { lookup_fn_ = std::move(fn); }
 
  protected:

@@ -33,13 +33,15 @@ void MoonGen::start_tx(core::SimTime at, core::SimTime until) {
   // The pacing clock is one recurring timer: the emit callback is stored
   // once and each re-arm is allocation-free, instead of a fresh closure per
   // emitted frame.
-  sim_.schedule_every(at - sim_.now(), core::Simulator::RecurringFn([this] {
-                        if (sim_.now() >= tx_until_) {
-                          return core::Simulator::kStopTimer;
-                        }
-                        emit_one();
-                        return gap();
-                      }));
+  // Self-stopping at tx_until_, so the timer id is deliberately dropped.
+  (void)sim_.schedule_every(at - sim_.now(),
+                            core::Simulator::RecurringFn([this] {
+                              if (sim_.now() >= tx_until_) {
+                                return core::Simulator::kStopTimer;
+                              }
+                              emit_one();
+                              return gap();
+                            }));
 }
 
 void MoonGen::emit_one() {

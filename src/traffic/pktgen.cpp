@@ -29,13 +29,15 @@ void PktGen::start_tx(core::SimTime at, core::SimTime until) {
   tx_until_ = until;
   next_probe_at_ = at;
   // One recurring timer paces the whole run; re-arms are allocation-free.
-  sim_.schedule_every(at - sim_.now(), core::Simulator::RecurringFn([this] {
-                        if (sim_.now() >= tx_until_) {
-                          return core::Simulator::kStopTimer;
-                        }
-                        emit_one();
-                        return gap();
-                      }));
+  // Self-stopping at tx_until_, so the timer id is deliberately dropped.
+  (void)sim_.schedule_every(at - sim_.now(),
+                            core::Simulator::RecurringFn([this] {
+                              if (sim_.now() >= tx_until_) {
+                                return core::Simulator::kStopTimer;
+                              }
+                              emit_one();
+                              return gap();
+                            }));
 }
 
 void PktGen::emit_one() {

@@ -94,7 +94,7 @@ void L2Fwd::arm_drain(std::size_t out_port) {
   if (buf.drain_armed) return;
   buf.drain_armed = true;
   const core::SimTime deadline = buf.oldest + drain_timeout_;
-  sim().schedule_at(deadline, [this, out_port] { drain(out_port); });
+  sim().post_at(deadline, [this, out_port] { drain(out_port); });
 }
 
 void L2Fwd::drain(std::size_t out_port) {

@@ -49,7 +49,7 @@ TEST(CpuCore, UtilizationFraction) {
   CpuCore cpu(sim, "c0");
   cpu.submit(core::from_us(2), [] {});
   sim.run();
-  sim.schedule_in(core::from_us(2), [] {});  // advance wall clock to 4 us
+  sim.post_in(core::from_us(2), [] {});  // advance wall clock to 4 us
   sim.run();
   EXPECT_NEAR(cpu.utilization(), 0.5, 1e-9);
 }
@@ -60,7 +60,7 @@ TEST(CpuCore, ResetStatsZeroesUtilization) {
   cpu.submit(core::from_us(2), [] {});
   sim.run();
   cpu.reset_stats();
-  sim.schedule_in(core::from_us(1), [] {});
+  sim.post_in(core::from_us(1), [] {});
   sim.run();
   EXPECT_NEAR(cpu.utilization(), 0.0, 1e-9);
 }

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -28,7 +29,7 @@ TEST(EventQueueCancel, CancelAfterFireIsNoOp) {
   EventQueue q;
   const auto id = q.schedule(10, [] {});
   bool survivor_fired = false;
-  q.schedule(20, [&] { survivor_fired = true; });
+  (void)q.schedule(20, [&] { survivor_fired = true; });
   q.pop().cb();  // fires the id=.. event
   q.cancel(id);  // stale: must not affect anything
   EXPECT_EQ(q.size(), 1u);
@@ -41,7 +42,7 @@ TEST(EventQueueCancel, CancelAfterFireIsNoOp) {
 TEST(EventQueueCancel, DoubleCancelIsNoOp) {
   EventQueue q;
   const auto id = q.schedule(10, [] {});
-  q.schedule(20, [] {});
+  (void)q.schedule(20, [] {});
   q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
   q.cancel(id);  // second cancel of the same id
@@ -57,7 +58,7 @@ TEST(EventQueueCancel, StaleIdDoesNotHitReusedSlot) {
   const auto old_id = q.schedule(10, [] {});
   q.pop();  // slot freed, generation bumped
   bool fired = false;
-  q.schedule(20, [&] { fired = true; });
+  (void)q.schedule(20, [&] { fired = true; });
   q.cancel(old_id);
   ASSERT_FALSE(q.empty());
   q.pop().cb();
@@ -69,7 +70,7 @@ TEST(EventQueueCancel, ClearInvalidatesOutstandingIds) {
   const auto id = q.schedule(10, [] {});
   q.clear();
   bool fired = false;
-  q.schedule(10, [&] { fired = true; });
+  (void)q.schedule(10, [&] { fired = true; });
   q.cancel(id);  // pre-clear handle: must be dead
   ASSERT_FALSE(q.empty());
   q.pop().cb();
@@ -82,11 +83,11 @@ TEST(EventQueueCancel, CancelHeadThenScheduleEarlier) {
   EventQueue q;
   bool wrong = false;
   const auto head = q.schedule(5, [&] { wrong = true; });
-  q.schedule(50, [] {});
+  (void)q.schedule(50, [] {});
   EXPECT_EQ(q.next_time(), 5);
   q.cancel(head);
   bool early = false;
-  q.schedule(7, [&] { early = true; });
+  (void)q.schedule(7, [&] { early = true; });
   EXPECT_EQ(q.next_time(), 7);
   q.pop().cb();
   EXPECT_TRUE(early);
@@ -104,7 +105,7 @@ TEST(EventQueueNextTime, StableAcrossRepeatedCallsWithCancelledHead) {
   doomed[0] = q.schedule(10, [] {});
   doomed[1] = q.schedule(20, [] {});
   doomed[2] = q.schedule(30, [] {});
-  q.schedule(40, [] {});
+  (void)q.schedule(40, [] {});
   for (auto id : doomed) q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.next_time(), 40);
@@ -118,7 +119,7 @@ TEST(EventQueueNextTime, StableAcrossRepeatedCallsWithCancelledHead) {
 TEST(EventQueueNextTime, SeesThroughCancelledFarFutureHead) {
   EventQueue q;
   const auto far = q.schedule(from_ms(50), [] {});
-  q.schedule(from_ms(80), [] {});
+  (void)q.schedule(from_ms(80), [] {});
   q.cancel(far);
   EXPECT_EQ(q.next_time(), from_ms(80));
   EXPECT_EQ(q.size(), 1u);
@@ -139,7 +140,7 @@ TEST(EventQueueWheel, OrdersAcrossAllLevelSpans) {
       SimTime{1} << 61,  // beyond the 2^60 ps horizon: overflow heap
       3,
   };
-  for (std::size_t i = times.size(); i-- > 0;) q.schedule(times[i], [] {});
+  for (std::size_t i = times.size(); i-- > 0;) (void)q.schedule(times[i], [] {});
   std::vector<SimTime> popped;
   while (!q.empty()) popped.push_back(q.pop().time);
   std::vector<SimTime> want = times;
@@ -151,7 +152,7 @@ TEST(EventQueueWheel, CancelledOverflowEntryNeverFires) {
   EventQueue q;
   bool fired = false;
   const auto id = q.schedule(SimTime{1} << 61, [&] { fired = true; });
-  q.schedule((SimTime{1} << 61) + 7, [] {});
+  (void)q.schedule((SimTime{1} << 61) + 7, [] {});
   q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
   EXPECT_EQ(q.pop().time, (SimTime{1} << 61) + 7);
@@ -164,11 +165,11 @@ TEST(EventQueueWheel, ScheduleBehindCursorFiresImmediately) {
   // fire, after any same-time events scheduled earlier.
   EventQueue q;
   std::vector<int> order;
-  q.schedule(100, [&] { order.push_back(1); });
-  q.schedule(100, [&] { order.push_back(2); });
+  (void)q.schedule(100, [&] { order.push_back(1); });
+  (void)q.schedule(100, [&] { order.push_back(2); });
   auto f = q.pop();
   f.cb();  // fires 1; cursor now past tick(100)
-  q.schedule(100, [&] { order.push_back(3); });
+  (void)q.schedule(100, [&] { order.push_back(3); });
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -262,7 +263,7 @@ TEST(EventFnStorage, OversizedCaptureSpillsAndCounts) {
 TEST(RecurringTimer, PeriodicFiresAtFixedCadence) {
   Simulator sim;
   std::vector<SimTime> fires;
-  sim.schedule_every(100, 250, EventFn([&] { fires.push_back(sim.now()); }));
+  (void)sim.schedule_every(100, 250, EventFn([&] { fires.push_back(sim.now()); }));
   sim.run_until(1'000);
   EXPECT_EQ(fires, (std::vector<SimTime>{100, 350, 600, 850}));
 }
@@ -270,7 +271,7 @@ TEST(RecurringTimer, PeriodicFiresAtFixedCadence) {
 TEST(RecurringTimer, AdaptiveControlsItsOwnPeriodAndStops) {
   Simulator sim;
   std::vector<SimTime> fires;
-  sim.schedule_every(10, Simulator::RecurringFn([&]() -> SimDuration {
+  (void)sim.schedule_every(10, Simulator::RecurringFn([&]() -> SimDuration {
                        fires.push_back(sim.now());
                        if (fires.size() >= 3) return Simulator::kStopTimer;
                        return static_cast<SimDuration>(100 * fires.size());
@@ -285,7 +286,7 @@ TEST(RecurringTimer, CancelTimerStopsFutureFirings) {
   Simulator sim;
   int fired = 0;
   const auto id = sim.schedule_every(10, 10, EventFn([&] { ++fired; }));
-  sim.schedule_in(35, [&] { sim.cancel_timer(id); });
+  sim.post_in(35, [&] { sim.cancel_timer(id); });
   sim.run_until(200);
   EXPECT_EQ(fired, 3);  // t=10,20,30; cancelled before t=40
   EXPECT_FALSE(sim.has_pending());
@@ -325,12 +326,30 @@ TEST(RecurringTimer, SteadyStateIsAllocationFree) {
   // must never spill a callback to the heap.
   Simulator sim;
   std::uint64_t fired = 0;
-  sim.schedule_every(0, 67'200, EventFn([&fired] { ++fired; }));
+  (void)sim.schedule_every(0, 67'200, EventFn([&fired] { ++fired; }));
   sim.run_until(from_us(10));  // prime the loop
   const auto before = SmallFn<void>::heap_fallback_count();
   sim.run_until(from_ms(1));  // ~14.9k further firings
   EXPECT_GT(fired, 14'000u);
   EXPECT_EQ(SmallFn<void>::heap_fallback_count(), before);
+}
+
+TEST(SmallFnThreads, HeapFallbackCounterIsPerThread) {
+  // Regression: the counter used to be a plain global, which the parallel
+  // campaign runner's workers raced on (TSan-visible). It is thread_local
+  // now — a worker's spills must neither show up here nor race.
+  const auto base = SmallFn<void>::heap_fallback_count();
+  std::array<std::thread, 4> workers;
+  for (auto& w : workers) {
+    w = std::thread([] {
+      std::array<char, 96> big{};  // > inline buffer: forces a heap spill
+      SmallFn<void> f([big] { (void)big.size(); });
+      f();
+      EXPECT_GE(SmallFn<void>::heap_fallback_count(), 1u);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(SmallFn<void>::heap_fallback_count(), base);
 }
 
 TEST(RearmableTimerTest, ReArmReplacesPendingOccurrence) {

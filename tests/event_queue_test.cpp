@@ -17,9 +17,9 @@ TEST(EventQueue, EmptyInitially) {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> fired;
-  q.schedule(30, [&] { fired.push_back(3); });
-  q.schedule(10, [&] { fired.push_back(1); });
-  q.schedule(20, [&] { fired.push_back(2); });
+  (void)q.schedule(30, [&] { fired.push_back(3); });
+  (void)q.schedule(10, [&] { fired.push_back(1); });
+  (void)q.schedule(20, [&] { fired.push_back(2); });
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
@@ -28,7 +28,7 @@ TEST(EventQueue, SameTimeFiresInScheduleOrder) {
   EventQueue q;
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(42, [&fired, i] { fired.push_back(i); });
+    (void)q.schedule(42, [&fired, i] { fired.push_back(i); });
   }
   while (!q.empty()) q.pop().cb();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
@@ -36,7 +36,7 @@ TEST(EventQueue, SameTimeFiresInScheduleOrder) {
 
 TEST(EventQueue, NextTimeReportsEarliestLive) {
   EventQueue q;
-  q.schedule(50, [] {});
+  (void)q.schedule(50, [] {});
   const auto early = q.schedule(10, [] {});
   EXPECT_EQ(q.next_time(), 10);
   q.cancel(early);
@@ -47,7 +47,7 @@ TEST(EventQueue, CancelRemovesEvent) {
   EventQueue q;
   bool fired = false;
   const auto id = q.schedule(10, [&] { fired = true; });
-  q.schedule(20, [] {});
+  (void)q.schedule(20, [] {});
   q.cancel(id);
   EXPECT_EQ(q.size(), 1u);
   while (!q.empty()) q.pop().cb();
@@ -56,7 +56,7 @@ TEST(EventQueue, CancelRemovesEvent) {
 
 TEST(EventQueue, CancelInvalidIdIsSafe) {
   EventQueue q;
-  q.schedule(10, [] {});
+  (void)q.schedule(10, [] {});
   q.cancel(EventQueue::kInvalidEvent);
   q.cancel(9999);  // never issued... tolerated, but count must stay sane
   EXPECT_GE(q.size(), 0u);
@@ -64,14 +64,14 @@ TEST(EventQueue, CancelInvalidIdIsSafe) {
 
 TEST(EventQueue, PopReturnsTime) {
   EventQueue q;
-  q.schedule(123, [] {});
+  (void)q.schedule(123, [] {});
   const auto fired = q.pop();
   EXPECT_EQ(fired.time, 123);
 }
 
 TEST(EventQueue, ClearDropsEverything) {
   EventQueue q;
-  for (int i = 0; i < 5; ++i) q.schedule(i, [] {});
+  for (int i = 0; i < 5; ++i) (void)q.schedule(i, [] {});
   q.clear();
   EXPECT_TRUE(q.empty());
 }
@@ -85,7 +85,7 @@ TEST(EventQueue, StressInterleavedScheduleAndPop) {
   for (int round = 0; round < 50; ++round) {
     for (int i = 0; i < 40; ++i) {
       x = x * 6364136223846793005ULL + 1442695040888963407ULL;
-      q.schedule(1000 + static_cast<SimTime>(x % 100000), [] {});
+      (void)q.schedule(1000 + static_cast<SimTime>(x % 100000), [] {});
     }
     for (int i = 0; i < 20 && !q.empty(); ++i) {
       auto f = q.pop();

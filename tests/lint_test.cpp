@@ -1,0 +1,365 @@
+// Unit tests for the nfvsb-lint rule engine. Fixture snippets are fed
+// through lint_source() with virtual paths (nothing touches disk except the
+// exit-code tests), one positive and one suppressed case per rule, plus the
+// --fix rewriter and the process-level exit codes.
+//
+// The banned tokens below live inside raw string literals: the linter's own
+// scanner blanks literals, so scanning this file stays clean.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nfvsb-lint/lint.h"
+
+namespace {
+
+using nfvsb::lint::Diagnostic;
+using nfvsb::lint::FileReport;
+using nfvsb::lint::Options;
+using nfvsb::lint::lint_source;
+using nfvsb::lint::rule_ids;
+
+std::vector<std::string> rules_of(const FileReport& r) {
+  std::vector<std::string> out;
+  out.reserve(r.diagnostics.size());
+  for (const Diagnostic& d : r.diagnostics) out.push_back(d.rule);
+  return out;
+}
+
+// --- rule catalogue ---------------------------------------------------------
+
+TEST(LintRules, CatalogueIsStable) {
+  const std::vector<std::string> want = {
+      "wall-clock",  "entropy",     "unordered-iter", "std-function",
+      "naked-new",   "ordered-sum", "nodiscard"};
+  EXPECT_EQ(rule_ids(), want);
+}
+
+// --- wall-clock -------------------------------------------------------------
+
+TEST(LintWallClock, FlagsChronoClocks) {
+  const FileReport r = lint_source("src/core/x.cpp", R"(
+    auto t0 = std::chrono::steady_clock::now();
+  )",
+                                   Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "wall-clock");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
+TEST(LintWallClock, FlagsBareTimeCallButNotMembers) {
+  const FileReport r = lint_source("src/core/x.cpp", R"(
+    auto t = time(nullptr);      // flagged
+    auto u = fired.time;         // member: clean
+    auto v = ev->time(0);        // member call: clean
+  )",
+                                   Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
+TEST(LintWallClock, SuppressedBySameLineAllow) {
+  const FileReport r = lint_source(
+      "bench/x.cpp",
+      "auto t0 = std::chrono::steady_clock::now();"
+      "  // nfvsb-lint: allow(wall-clock)\n",
+      Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintWallClock, TokenInsideStringOrCommentIsClean) {
+  const FileReport r = lint_source("src/core/x.cpp", R"(
+    // steady_clock would break determinism, hence this rule.
+    const char* doc = "uses steady_clock internally";
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- entropy ----------------------------------------------------------------
+
+TEST(LintEntropy, FlagsRandomDeviceAndRand) {
+  const FileReport r = lint_source("src/traffic/x.cpp", R"(
+    std::random_device rd;
+    int x = rand();
+  )",
+                                   Options{});
+  EXPECT_EQ(rules_of(r), (std::vector<std::string>{"entropy", "entropy"}));
+}
+
+TEST(LintEntropy, CoreRngIsTheDocumentedEscapeHatch) {
+  const FileReport r = lint_source("src/core/rng.cpp", R"(
+    std::random_device rd;  // seed plumbing lives here
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintEntropy, SuppressedByPrecedingLineAllow) {
+  const FileReport r = lint_source("src/traffic/x.cpp", R"(
+    // nfvsb-lint: allow(entropy)
+    std::random_device rd;
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- unordered-iter ---------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedMember) {
+  const FileReport r = lint_source("src/switches/x.cpp", R"(
+    std::unordered_map<int, int> flows_;
+    void dump() {
+      for (const auto& [k, v] : flows_) { use(k, v); }
+    }
+  )",
+                                   Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "unordered-iter");
+  EXPECT_EQ(r.diagnostics[0].line, 4);
+}
+
+TEST(LintUnorderedIter, SortedVectorIterationIsClean) {
+  const FileReport r = lint_source("src/switches/x.cpp", R"(
+    std::unordered_map<int, int> flows_;
+    void dump() {
+      std::vector<int> keys = sorted_keys(flows_);
+      for (int k : keys) { use(k, flows_.at(k)); }
+    }
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintUnorderedIter, StatsSinkAndNonSrcAreOutOfScope) {
+  const std::string snippet = R"(
+    std::unordered_set<int> seen_;
+    void f() { for (int s : seen_) { use(s); } }
+  )";
+  EXPECT_TRUE(lint_source("src/stats/x.h", snippet, Options{})
+                  .diagnostics.empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", snippet, Options{})
+                  .diagnostics.empty());
+}
+
+TEST(LintUnorderedIter, SuppressedByAllow) {
+  const FileReport r = lint_source("src/switches/x.cpp", R"(
+    std::unordered_map<int, int> flows_;
+    void dump() {
+      // nfvsb-lint: allow(unordered-iter)
+      for (const auto& [k, v] : flows_) { use(k, v); }
+    }
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- std-function -----------------------------------------------------------
+
+TEST(LintStdFunction, FlaggedInHotPathDirsOnly) {
+  const std::string snippet = "std::function<void()> cb_;\n";
+  const FileReport hot = lint_source("src/hw/x.h", snippet, Options{});
+  ASSERT_EQ(hot.diagnostics.size(), 1u);
+  EXPECT_EQ(hot.diagnostics[0].rule, "std-function");
+  // vnf/, scenario/, tests/ may use std::function freely.
+  EXPECT_TRUE(lint_source("src/vnf/x.h", snippet, Options{})
+                  .diagnostics.empty());
+  EXPECT_TRUE(lint_source("tests/x.cpp", snippet, Options{})
+                  .diagnostics.empty());
+}
+
+TEST(LintStdFunction, SuppressedByAllow) {
+  const FileReport r = lint_source("src/core/x.h", R"(
+    // nfvsb-lint: allow(std-function)
+    std::function<void()> cb_;
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- naked-new --------------------------------------------------------------
+
+TEST(LintNakedNew, FlagsNewAndMallocInDataPlane) {
+  const FileReport r = lint_source("src/ring/x.cpp", R"(
+    int* a = new int[4];
+    void* b = malloc(64);
+  )",
+                                   Options{});
+  EXPECT_EQ(rules_of(r),
+            (std::vector<std::string>{"naked-new", "naked-new"}));
+}
+
+TEST(LintNakedNew, PlacementNewAndIncludeNewAreClean) {
+  const FileReport r = lint_source("src/core/x.h", R"(
+    #include <new>
+    void build(void* slot) { ::new (slot) Widget(); }
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintNakedNew, SuppressedByAllow) {
+  const FileReport r = lint_source("src/pkt/x.cpp", R"(
+    // nfvsb-lint: allow(naked-new)
+    Packet* slab = new Packet[64];
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- ordered-sum ------------------------------------------------------------
+
+TEST(LintOrderedSum, FlagsDoubleAccumulationInLoop) {
+  const FileReport r = lint_source("src/stats/x.h", R"(
+    double total = 0.0;
+    for (double v : values) {
+      total += v;
+    }
+  )",
+                                   Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "ordered-sum");
+  EXPECT_EQ(r.diagnostics[0].line, 4);
+}
+
+TEST(LintOrderedSum, OrderedSumNoteSilences) {
+  const FileReport r = lint_source("src/stats/x.h", R"(
+    double total = 0.0;
+    for (double v : values) {
+      // nfvsb-lint: ordered-sum — values is index-ordered
+      total += v;
+    }
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(LintOrderedSum, IntegerAccumulationAndNonLoopAreClean) {
+  const FileReport r = lint_source("src/stats/x.h", R"(
+    std::uint64_t count = 0;
+    double total = 0.0;
+    for (double v : values) { count += 1; }
+    total += finalize();  // not in a loop
+  )",
+                                   Options{});
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+// --- nodiscard --------------------------------------------------------------
+
+TEST(LintNodiscard, FlagsBareIdReturningDeclInCoreHeader) {
+  const FileReport r = lint_source("src/core/x.h", R"(
+    class Q {
+     public:
+      EventId schedule(SimTime at, Callback cb);
+      [[nodiscard]] bool empty() const;
+      void clear();
+    };
+  )",
+                                   Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "nodiscard");
+  EXPECT_EQ(r.diagnostics[0].line, 4);
+}
+
+TEST(LintNodiscard, OnlyCoreAndHwHeadersAreInScope) {
+  const std::string snippet = "bool ready() const;\n";
+  EXPECT_FALSE(lint_source("src/hw/x.h", snippet, Options{})
+                   .diagnostics.empty());
+  EXPECT_TRUE(lint_source("src/hw/x.cpp", snippet, Options{})
+                  .diagnostics.empty());
+  EXPECT_TRUE(lint_source("src/vnf/x.h", snippet, Options{})
+                  .diagnostics.empty());
+}
+
+TEST(LintNodiscard, FixInsertsAttributePreservingIndent) {
+  Options fix;
+  fix.fix = true;
+  const FileReport r = lint_source("src/core/x.h",
+                                   "  bool empty() const;\n", fix);
+  ASSERT_TRUE(r.fixes_applied);
+  EXPECT_EQ(r.fixed_content, "  [[nodiscard]] bool empty() const;\n");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].message.rfind("fixed:", 0), 0u);
+}
+
+TEST(LintNodiscard, FixIsIdempotent) {
+  Options fix;
+  fix.fix = true;
+  const FileReport again = lint_source(
+      "src/core/x.h", "  [[nodiscard]] bool empty() const;\n", fix);
+  EXPECT_FALSE(again.fixes_applied);
+  EXPECT_TRUE(again.diagnostics.empty());
+}
+
+// --- rule filter ------------------------------------------------------------
+
+TEST(LintOptions, OnlyRulesRestrictsTheRun) {
+  Options only;
+  only.only_rules = {"entropy"};
+  const FileReport r = lint_source("src/core/x.cpp", R"(
+    auto t0 = std::chrono::steady_clock::now();
+    std::random_device rd;
+  )",
+                                   only);
+  EXPECT_EQ(rules_of(r), (std::vector<std::string>{"entropy"}));
+}
+
+// --- process-level run() ----------------------------------------------------
+
+class LintRunTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) / "nfvsb_lint_run";
+    std::filesystem::create_directories(dir_ / "src" / "core");
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write(const std::string& rel, const std::string& content) {
+    const std::filesystem::path p = dir_ / rel;
+    std::ofstream(p) << content;
+    return p.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LintRunTest, CleanTreeExitsZero) {
+  write("src/core/a.cpp", "int answer() { return 42; }\n");
+  std::ostringstream out;
+  EXPECT_EQ(nfvsb::lint::run({dir_.string()}, Options{}, out), 0);
+  EXPECT_NE(out.str().find("0 finding(s)"), std::string::npos);
+}
+
+TEST_F(LintRunTest, FindingsExitOneWithFileLineRule) {
+  const std::string f =
+      write("src/core/bad.cpp", "auto r = std::random_device{}();\n");
+  std::ostringstream out;
+  EXPECT_EQ(nfvsb::lint::run({dir_.string()}, Options{}, out), 1);
+  EXPECT_NE(out.str().find(f + ":1: [entropy]"), std::string::npos);
+}
+
+TEST_F(LintRunTest, MissingPathExitsTwo) {
+  std::ostringstream out;
+  EXPECT_EQ(nfvsb::lint::run({(dir_ / "nope").string()}, Options{}, out), 2);
+}
+
+TEST_F(LintRunTest, FixRewritesFileInPlace) {
+  const std::string f = write("src/core/q.h", "bool empty() const;\n");
+  Options fix;
+  fix.fix = true;
+  std::ostringstream out;
+  // Fixes are not findings: a fully fixable tree exits clean.
+  EXPECT_EQ(nfvsb::lint::run({f}, fix, out), 0);
+  std::ifstream in(f);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "[[nodiscard]] bool empty() const;");
+}
+
+}  // namespace

@@ -85,7 +85,7 @@ TEST_F(NicTest, RxRingOverflowCountsImissed) {
   // 16-slot RX ring, nobody draining: the 17th+ frames are lost. Pace the
   // feed so the TX ring never overflows first.
   for (int i = 0; i < 40; ++i) {
-    sim_.schedule_in(i * core::from_ns(100),
+    sim_.post_in(i * core::from_ns(100),
                      [this] { a_.tx_ring().enqueue(frame()); });
   }
   sim_.run();

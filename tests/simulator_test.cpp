@@ -17,7 +17,7 @@ TEST(Simulator, StartsAtZero) {
 TEST(Simulator, ScheduleInAdvancesClock) {
   Simulator sim;
   SimTime seen = -1;
-  sim.schedule_in(from_us(5), [&] { seen = sim.now(); });
+  sim.post_in(from_us(5), [&] { seen = sim.now(); });
   sim.run();
   EXPECT_EQ(seen, from_us(5));
   EXPECT_EQ(sim.now(), from_us(5));
@@ -25,9 +25,9 @@ TEST(Simulator, ScheduleInAdvancesClock) {
 
 TEST(Simulator, NegativeDelayClampsToNow) {
   Simulator sim;
-  sim.schedule_in(from_us(1), [&] {
+  sim.post_in(from_us(1), [&] {
     SimTime seen = -1;
-    sim.schedule_in(-from_us(10), [&sim, &seen] { seen = sim.now(); });
+    sim.post_in(-from_us(10), [&sim, &seen] { seen = sim.now(); });
     (void)seen;
   });
   sim.run();  // must not assert/fire in the past
@@ -37,8 +37,8 @@ TEST(Simulator, NegativeDelayClampsToNow) {
 TEST(Simulator, ScheduleAtPastClampsToNow) {
   Simulator sim;
   std::vector<SimTime> fired;
-  sim.schedule_in(from_us(2), [&] {
-    sim.schedule_at(from_us(1), [&] { fired.push_back(sim.now()); });
+  sim.post_in(from_us(2), [&] {
+    sim.post_at(from_us(1), [&] { fired.push_back(sim.now()); });
   });
   sim.run();
   ASSERT_EQ(fired.size(), 1u);
@@ -48,8 +48,8 @@ TEST(Simulator, ScheduleAtPastClampsToNow) {
 TEST(Simulator, RunUntilStopsAtBoundary) {
   Simulator sim;
   int count = 0;
-  sim.schedule_in(from_us(1), [&] { ++count; });
-  sim.schedule_in(from_us(10), [&] { ++count; });
+  sim.post_in(from_us(1), [&] { ++count; });
+  sim.post_in(from_us(10), [&] { ++count; });
   sim.run_until(from_us(5));
   EXPECT_EQ(count, 1);
   EXPECT_EQ(sim.now(), from_us(5));
@@ -61,7 +61,7 @@ TEST(Simulator, RunUntilStopsAtBoundary) {
 TEST(Simulator, RunUntilInclusiveOfBoundaryEvents) {
   Simulator sim;
   bool fired = false;
-  sim.schedule_in(from_us(5), [&] { fired = true; });
+  sim.post_in(from_us(5), [&] { fired = true; });
   sim.run_until(from_us(5));
   EXPECT_TRUE(fired);
 }
@@ -70,9 +70,9 @@ TEST(Simulator, EventsCanScheduleMoreEvents) {
   Simulator sim;
   int depth = 0;
   std::function<void()> chain = [&] {
-    if (++depth < 100) sim.schedule_in(from_ns(10), chain);
+    if (++depth < 100) sim.post_in(from_ns(10), chain);
   };
-  sim.schedule_in(0, chain);
+  sim.post_in(0, chain);
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_EQ(sim.now(), 99 * from_ns(10));
@@ -89,14 +89,14 @@ TEST(Simulator, CancelPreventsFiring) {
 
 TEST(Simulator, CountsProcessedEvents) {
   Simulator sim;
-  for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
+  for (int i = 0; i < 7; ++i) sim.post_in(i, [] {});
   sim.run();
   EXPECT_EQ(sim.events_processed(), 7u);
 }
 
 TEST(Simulator, ResetClearsState) {
   Simulator sim;
-  sim.schedule_in(from_us(1), [] {});
+  sim.post_in(from_us(1), [] {});
   sim.run_until(from_ns(1));
   sim.reset();
   EXPECT_EQ(sim.now(), 0);

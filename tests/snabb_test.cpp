@@ -50,7 +50,7 @@ TEST(LuaJit, WarmupDecaysToSteady) {
                                       .warmup_breaths = 100});
   const double first = jit.step_multiplier();
   EXPECT_NEAR(first, 10.0, 0.2);
-  for (int i = 0; i < 200; ++i) jit.step_multiplier();
+  for (int i = 0; i < 200; ++i) (void)jit.step_multiplier();
   EXPECT_DOUBLE_EQ(jit.step_multiplier(), 1.0);
   EXPECT_TRUE(jit.warm());
 }
@@ -58,13 +58,13 @@ TEST(LuaJit, WarmupDecaysToSteady) {
 TEST(LuaJit, SteadyMultiplierFloorsTheDecay) {
   LuaJitModel jit;
   jit.set_steady_multiplier(2.5);
-  for (int i = 0; i < 1000; ++i) jit.step_multiplier();
+  for (int i = 0; i < 1000; ++i) (void)jit.step_multiplier();
   EXPECT_DOUBLE_EQ(jit.step_multiplier(), 2.5);
 }
 
 TEST(LuaJit, InvalidateResetsWarmup) {
   LuaJitModel jit;
-  for (int i = 0; i < 1000; ++i) jit.step_multiplier();
+  for (int i = 0; i < 1000; ++i) (void)jit.step_multiplier();
   jit.invalidate_traces();
   EXPECT_FALSE(jit.warm());
   EXPECT_GT(jit.step_multiplier(), 2.0);

@@ -137,7 +137,7 @@ TEST_F(SwitchBaseTest, WastedWorkOnFullOutputRing) {
   // overflows) with nobody draining the output: the switch spends cycles
   // on 36 packets that then die at the full ring.
   for (int i = 0; i < 100; ++i) {
-    sim_.schedule_in(i * core::from_ns(150),
+    sim_.post_in(i * core::from_ns(150),
                      [this] { sw_->port(0).in().enqueue(frame()); });
   }
   sim_.run();
@@ -207,10 +207,10 @@ TEST_F(SwitchBaseTest, JitterPreservesMeanRoughly) {
   std::function<void()> feed = [&] {
     if (sent++ < n) {
       sw.port(0).in().enqueue(frame());
-      sim_.schedule_in(core::from_ns(500), feed);
+      sim_.post_in(core::from_ns(500), feed);
     }
   };
-  sim_.schedule_in(0, feed);
+  sim_.post_in(0, feed);
   sim_.run();
   EXPECT_EQ(sw.stats().tx_packets, static_cast<std::uint64_t>(n));
 }

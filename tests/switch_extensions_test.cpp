@@ -209,7 +209,7 @@ TEST(RateLimiterApp, PolicesAboveRate) {
   EXPECT_EQ(app.dropped(), 10u);
   batch.clear();
   // After 5 us at 1 Mpps, 5 tokens refill.
-  sim.schedule_in(core::from_us(5), [] {});
+  sim.post_in(core::from_us(5), [] {});
   sim.run();
   for (int i = 0; i < 8; ++i) {
     auto p = pool.allocate();

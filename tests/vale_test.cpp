@@ -130,10 +130,10 @@ TEST(ValeCtl, VirtualPortLifecycle) {
   ValeCtl ctl;
   ctl.register_switch(sw);
   ctl.run("vale-ctl -n v0");
-  EXPECT_THROW(ctl.guest_port("v0"), std::invalid_argument);  // not attached
+  EXPECT_THROW((void)ctl.guest_port("v0"), std::invalid_argument);  // not attached
   ctl.run("vale-ctl -a vale0:v0");
-  EXPECT_NO_THROW(ctl.guest_port("v0"));
-  EXPECT_NO_THROW(ctl.host_port("v0"));
+  EXPECT_NO_THROW((void)ctl.guest_port("v0"));
+  EXPECT_NO_THROW((void)ctl.host_port("v0"));
   EXPECT_EQ(sw.port(0).kind(), ring::PortKind::kPtnet);
 }
 

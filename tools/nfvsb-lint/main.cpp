@@ -1,0 +1,45 @@
+// nfvsb-lint CLI. See lint.h for the rule catalogue and DESIGN.md §8 for
+// the policy this enforces.
+//
+//   nfvsb-lint [--fix] [--rule=<id> ...] [--list-rules] <path>...
+//
+// Exit codes: 0 clean, 1 findings, 2 bad invocation or I/O error.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nfvsb-lint/lint.h"
+
+int main(int argc, char** argv) {
+  nfvsb::lint::Options opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix") {
+      opts.fix = true;
+    } else if (arg == "--list-rules") {
+      for (const std::string& id : nfvsb::lint::rule_ids()) {
+        std::cout << id << "\n";
+      }
+      return 0;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      opts.only_rules.push_back(arg.substr(7));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: nfvsb-lint [--fix] [--rule=<id> ...] "
+                   "[--list-rules] <path>...\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "nfvsb-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: nfvsb-lint [--fix] [--rule=<id> ...] "
+                 "[--list-rules] <path>...\n";
+    return 2;
+  }
+  return nfvsb::lint::run(paths, opts, std::cout);
+}
