@@ -98,7 +98,11 @@ std::uint64_t fnv1a(std::string_view s) {
 }
 
 bool cacheable(const scenario::ScenarioConfig& cfg) {
-  return !static_cast<bool>(cfg.tune_sut);
+  // Observed runs are cheap to re-run and their counter sections would
+  // bloat the cache; traced runs have a file side effect a cache hit would
+  // silently skip. Neither is worth caching.
+  return !static_cast<bool>(cfg.tune_sut) && !cfg.observe &&
+         cfg.queue_sample_period <= 0 && cfg.trace_path.empty();
 }
 
 std::string config_key(const scenario::ScenarioConfig& cfg) {
@@ -113,6 +117,13 @@ std::string config_key(const scenario::ScenarioConfig& cfg) {
     << ";containers=" << cfg.containers << ";warmup=" << cfg.warmup
     << ";measure=" << cfg.measure << ";seed=" << cfg.seed
     << ";tuned=" << static_cast<bool>(cfg.tune_sut);
+  // Observability fields only appear when set, so keys (and hence cache
+  // hashes) of unobserved configs are stable across this addition.
+  if (cfg.observe) k << ";observe=1";
+  if (cfg.queue_sample_period > 0) k << ";qsample=" << cfg.queue_sample_period;
+  if (!cfg.trace_path.empty()) {
+    k << ";trace=" << cfg.trace_path << ";tsample=" << cfg.trace_packet_sample;
+  }
   return k.str();
 }
 
@@ -138,7 +149,16 @@ std::string config_to_json(const scenario::ScenarioConfig& cfg) {
     << ",\"l2fwd_drain_ps\":" << cfg.l2fwd_drain
     << ",\"containers\":" << (cfg.containers ? "true" : "false")
     << ",\"warmup_ps\":" << cfg.warmup << ",\"measure_ps\":" << cfg.measure
-    << ",\"seed\":" << cfg.seed << "}";
+    << ",\"seed\":" << cfg.seed;
+  if (cfg.observe) j << ",\"observe\":true";
+  if (cfg.queue_sample_period > 0) {
+    j << ",\"queue_sample_period_ps\":" << cfg.queue_sample_period;
+  }
+  if (!cfg.trace_path.empty()) {
+    j << ",\"trace_path\":\"" << json_escape(cfg.trace_path)
+      << "\",\"trace_packet_sample\":" << cfg.trace_packet_sample;
+  }
+  j << "}";
   return j.str();
 }
 
@@ -170,7 +190,23 @@ std::string result_to_json(const scenario::ScenarioResult& r) {
     << ",\"vnf_discards\":" << r.vnf_discards
     << ",\"offered_packets\":" << r.offered_packets
     << ",\"delivered_packets\":" << r.delivered_packets
-    << ",\"gen_tx_failures\":" << r.gen_tx_failures << "}";
+    << ",\"gen_tx_failures\":" << r.gen_tx_failures;
+  // Only observed runs carry these, so unobserved result JSON stays
+  // byte-identical to the pre-observability format.
+  if (r.cleared_packets != 0) {
+    j << ",\"cleared_packets\":" << r.cleared_packets;
+  }
+  if (!r.counters.empty()) {
+    j << ",\"counters\":{";
+    bool first = true;
+    for (const auto& [path, value] : r.counters) {
+      if (!first) j << ",";
+      first = false;
+      j << "\"" << json_escape(path) << "\":" << value;
+    }
+    j << "}";
+  }
+  j << "}";
   return j.str();
 }
 
@@ -192,6 +228,24 @@ std::optional<scenario::ScenarioResult> result_from_json(
       std::string reason;
       if (!sc.parse_string(reason)) return std::nullopt;
       r.skipped = std::move(reason);
+      continue;
+    }
+    if (key == "counters") {
+      if (!sc.eat('{')) return std::nullopt;
+      bool cfirst = true;
+      while (true) {
+        if (sc.eat('}')) break;
+        if (!cfirst && !sc.eat(',')) return std::nullopt;
+        cfirst = false;
+        std::string path;
+        double value = 0;
+        if (!sc.parse_string(path) || !sc.eat(':') ||
+            !sc.parse_number(value)) {
+          return std::nullopt;
+        }
+        r.counters.emplace_back(std::move(path),
+                                static_cast<std::uint64_t>(value));
+      }
       continue;
     }
     double v = 0;
@@ -217,6 +271,7 @@ std::optional<scenario::ScenarioResult> result_from_json(
     else if (key == "offered_packets") r.offered_packets = u64(v);
     else if (key == "delivered_packets") r.delivered_packets = u64(v);
     else if (key == "gen_tx_failures") r.gen_tx_failures = u64(v);
+    else if (key == "cleared_packets") r.cleared_packets = u64(v);
     else return std::nullopt;  // unknown field: refuse stale cache formats
   }
   return r;

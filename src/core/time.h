@@ -16,6 +16,12 @@ using SimTime = std::int64_t;
 /// Durations share the representation of absolute times.
 using SimDuration = std::int64_t;
 
+/// Sentinel for "no timestamp recorded". Simulation time starts at 0, so 0
+/// is a perfectly valid instant — a probe stamped in the first picosecond
+/// must still be distinguishable from an unstamped packet. -1 can never be
+/// produced by the clock (time is non-negative and monotone).
+inline constexpr SimTime kNoTimestamp = -1;
+
 inline constexpr SimDuration kPicosecond = 1;
 inline constexpr SimDuration kNanosecond = 1'000;
 inline constexpr SimDuration kMicrosecond = 1'000'000;

@@ -2,7 +2,23 @@
 
 #include <utility>
 
+#include "obs/registry.h"
+
 namespace nfvsb::hw {
+
+CpuCore::CpuCore(core::Simulator& sim, std::string name, int numa_node)
+    : sim_(sim), name_(std::move(name)), numa_node_(numa_node) {
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    // busy_time_ is a plain SimDuration (it participates in utilization
+    // arithmetic); expose the cell directly as a gauge.
+    reg->add_value(this, "cpu/" + name_ + "/busy_ps", &busy_time_);
+  }
+}
+
+CpuCore::~CpuCore() {
+  if (registry_ != nullptr) registry_->remove(this);
+}
 
 void CpuCore::submit(core::SimDuration work, core::EventFn done) {
   queue_.push_back(Job{work, std::move(done)});

@@ -15,12 +15,16 @@
 #include "core/simulator.h"
 #include "core/time.h"
 
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
+
 namespace nfvsb::hw {
 
 class CpuCore {
  public:
-  CpuCore(core::Simulator& sim, std::string name, int numa_node = 0)
-      : sim_(sim), name_(std::move(name)), numa_node_(numa_node) {}
+  CpuCore(core::Simulator& sim, std::string name, int numa_node = 0);
+  ~CpuCore();
 
   CpuCore(const CpuCore&) = delete;
   CpuCore& operator=(const CpuCore&) = delete;
@@ -60,6 +64,7 @@ class CpuCore {
   core::EventFn current_done_;
   core::SimDuration busy_time_{0};
   core::SimTime stats_since_{0};
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::hw

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "hw/cable.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "pkt/headers.h"
 
 namespace nfvsb::hw {
@@ -19,6 +21,15 @@ NicPort::NicPort(core::Simulator& sim, std::string name, Config cfg)
         name_ + ".tx" + std::to_string(q), cfg.tx_ring_depth));
     tx_rings_.back()->set_watcher([this](bool) { on_tx_enqueue(); });
   }
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    reg->add_counter(this, "nic/" + name_ + "/tx_frames", &tx_frames_);
+    reg->add_counter(this, "nic/" + name_ + "/rx_frames", &rx_frames_);
+  }
+}
+
+NicPort::~NicPort() {
+  if (registry_ != nullptr) registry_->remove(this);
 }
 
 std::uint64_t NicPort::imissed() const {
@@ -49,8 +60,14 @@ core::SimDuration NicPort::serialize_step() {
     tx_in_flight_ = nullptr;
     ++tx_frames_;
     if (cfg_.hw_timestamping && frame->probe_id != 0 &&
-        frame->tx_timestamp == 0) {
+        frame->tx_timestamp == core::kNoTimestamp) {
       frame->tx_timestamp = sim_.now();
+    }
+    if (obs::TraceRecorder* t = obs::tracer()) {
+      if (frame->trace_id != 0) {
+        t->complete(t->track("nic/" + name_ + "/wire"), "wire",
+                    tx_wire_start_, sim_.now() - tx_wire_start_, frame->seq);
+      }
     }
     if (cable_ != nullptr) {
       cable_->transmit(*this, std::move(frame));
@@ -74,6 +91,7 @@ core::SimDuration NicPort::serialize_step() {
   // The frame occupies the wire until `ser` from now.
   const core::SimDuration ser = cfg_.rate.serialization_time(p->size());
   tx_in_flight_ = p.release();
+  tx_wire_start_ = sim_.now();
   return ser;
 }
 

@@ -22,7 +22,12 @@
 
 #include "core/simulator.h"
 #include "core/units.h"
+#include "obs/counter.h"
 #include "ring/spsc_ring.h"
+
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
 
 namespace nfvsb::hw {
 
@@ -48,6 +53,7 @@ class NicPort {
   NicPort(core::Simulator& sim, std::string name, Config cfg);
   NicPort(core::Simulator& sim, std::string name)
       : NicPort(sim, std::move(name), Config{}) {}
+  ~NicPort();
 
   NicPort(const NicPort&) = delete;
   NicPort& operator=(const NicPort&) = delete;
@@ -103,10 +109,13 @@ class NicPort {
   bool tx_busy_{false};
   /// Frame currently occupying the wire (owned; delivered by the TX timer).
   pkt::Packet* tx_in_flight_{nullptr};
+  /// When the in-flight frame started serializing (trace wire spans).
+  core::SimTime tx_wire_start_{0};
   std::size_t tx_rr_{0};
-  std::uint64_t tx_frames_{0};
-  std::uint64_t rx_frames_{0};
+  obs::Counter tx_frames_;
+  obs::Counter rx_frames_;
   RxTimestampHook rx_ts_hook_;
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::hw

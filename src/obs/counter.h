@@ -1,0 +1,65 @@
+// Registered statistic cells for the observability layer.
+//
+// A Counter is a monotone (occasionally credited-back) 64-bit event count; a
+// Gauge is a signed instantaneous level. Both are drop-in replacements for
+// the ad-hoc `std::uint64_t` members components used to keep: same
+// increment syntax, implicit read conversion, zero indirection — the cell IS
+// the storage, the Registry only remembers where it lives. Registration is
+// done once at wiring time (see obs/registry.h); the hot path never touches
+// the registry.
+#pragma once
+
+#include <cstdint>
+
+namespace nfvsb::obs {
+
+class Counter {
+ public:
+  constexpr Counter() = default;
+  constexpr explicit Counter(std::uint64_t v) : v_(v) {}
+
+  Counter& operator++() {
+    ++v_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) {
+    v_ += n;
+    return *this;
+  }
+  /// Credit-back for deferred-TX style corrections (see
+  /// SwitchBase::note_deferred_tx); counters are otherwise monotone.
+  Counter& operator-=(std::uint64_t n) {
+    v_ -= n;
+    return *this;
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+  constexpr operator std::uint64_t() const { return v_; }  // NOLINT
+
+ private:
+  std::uint64_t v_{0};
+};
+
+class Gauge {
+ public:
+  constexpr Gauge() = default;
+  constexpr explicit Gauge(std::int64_t v) : v_(v) {}
+
+  void set(std::int64_t v) { v_ = v; }
+  Gauge& operator+=(std::int64_t n) {
+    v_ += n;
+    return *this;
+  }
+  Gauge& operator-=(std::int64_t n) {
+    v_ -= n;
+    return *this;
+  }
+
+  [[nodiscard]] std::int64_t value() const { return v_; }
+  constexpr operator std::int64_t() const { return v_; }  // NOLINT
+
+ private:
+  std::int64_t v_{0};
+};
+
+}  // namespace nfvsb::obs

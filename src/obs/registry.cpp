@@ -1,0 +1,80 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+namespace nfvsb::obs {
+
+namespace {
+// Per-thread so campaign workers (one Env each) never share installation
+// state; see the header comment.
+thread_local Registry* g_current = nullptr;
+}  // namespace
+
+Registry* Registry::current() { return g_current; }
+
+Registry::Scope::Scope(Registry* r) : prev_(g_current) { g_current = r; }
+Registry::Scope::~Scope() { g_current = prev_; }
+
+std::string Registry::unique_path(std::string path) const {
+  auto taken = [this](const std::string& p) {
+    const auto hit_entry =
+        std::any_of(entries_.begin(), entries_.end(),
+                    [&](const Entry& e) { return e.path == p; });
+    const auto hit_queue =
+        std::any_of(queues_.begin(), queues_.end(),
+                    [&](const Queue& q) { return q.path == p; });
+    return hit_entry || hit_queue;
+  };
+  if (!taken(path)) return path;
+  for (int n = 2;; ++n) {
+    std::string candidate = path + "#" + std::to_string(n);
+    if (!taken(candidate)) return candidate;
+  }
+}
+
+void Registry::add_counter(const void* owner, std::string path,
+                           const Counter* c) {
+  entries_.push_back(
+      Entry{owner, unique_path(std::move(path)), c, nullptr, nullptr});
+}
+
+void Registry::add_gauge(const void* owner, std::string path, const Gauge* g) {
+  entries_.push_back(
+      Entry{owner, unique_path(std::move(path)), nullptr, g, nullptr});
+}
+
+void Registry::add_value(const void* owner, std::string path,
+                         const std::int64_t* v) {
+  entries_.push_back(
+      Entry{owner, unique_path(std::move(path)), nullptr, nullptr, v});
+}
+
+void Registry::add_queue(const void* owner, std::string path,
+                         std::size_t capacity, DepthFn depth) {
+  queues_.push_back(Queue{owner, unique_path(std::move(path)), capacity, depth});
+}
+
+void Registry::remove(const void* owner) {
+  std::erase_if(entries_, [owner](const Entry& e) { return e.owner == owner; });
+  std::erase_if(queues_, [owner](const Queue& q) { return q.owner == owner; });
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    std::uint64_t v = 0;
+    if (e.counter != nullptr) {
+      v = e.counter->value();
+    } else if (e.gauge != nullptr) {
+      v = static_cast<std::uint64_t>(e.gauge->value());
+    } else {
+      v = static_cast<std::uint64_t>(*e.raw);
+    }
+    out.emplace_back(e.path, v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace nfvsb::obs

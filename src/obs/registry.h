@@ -1,0 +1,101 @@
+// Hierarchical counter registry: the name plane of the observability layer.
+//
+// Components register their Counter/Gauge cells (and their queues' depth
+// probes) once at construction under slash-separated paths such as
+// "ring/vpp:nic1.rx0/drops" or "switch/vpp/rounds", and deregister in their
+// destructors. A Registry never owns the cells — it stores (owner, path,
+// pointer) rows, so reads are a pointer chase and registration cost is paid
+// only at wiring time, never on the data path.
+//
+// Installation is scoped and thread-local: a scenario that wants observation
+// creates a Registry and installs it with Registry::Scope for the duration
+// of testbed construction; every component checks Registry::current() in its
+// constructor. Campaign workers each build their own Env, so per-thread
+// installation keeps the 8-thread runner race-free with zero atomics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counter.h"
+
+namespace nfvsb::obs {
+
+class Registry {
+ public:
+  /// Occupancy probe for a registered queue (plain function pointer: the
+  /// sampler calls it with the registered owner, no closure state needed).
+  using DepthFn = std::size_t (*)(const void* owner);
+
+  struct Queue {
+    const void* owner;
+    std::string path;
+    std::size_t capacity;
+    DepthFn depth;
+  };
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Register a cell under `path`. Duplicate paths are disambiguated with a
+  /// "#2", "#3"... suffix (stable: registration order is wiring order,
+  /// which is deterministic per scenario).
+  void add_counter(const void* owner, std::string path, const Counter* c);
+  void add_gauge(const void* owner, std::string path, const Gauge* g);
+  /// Raw signed cell (e.g. a SimDuration member) exposed as a gauge.
+  void add_value(const void* owner, std::string path, const std::int64_t* v);
+
+  /// Register a queue for depth sampling (see obs/sampler.h).
+  void add_queue(const void* owner, std::string path, std::size_t capacity,
+                 DepthFn depth);
+
+  /// Drop every row registered by `owner` (called from owner destructors,
+  /// so a Registry may outlive any subset of its components).
+  void remove(const void* owner);
+
+  [[nodiscard]] const std::vector<Queue>& queues() const { return queues_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// All registered cells as (path, value), sorted by path — the
+  /// deterministic order campaign JSON and tests rely on.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
+      const;
+
+  /// The registry components register against at construction time
+  /// (thread-local; null when no observation is requested).
+  [[nodiscard]] static Registry* current();
+
+  /// Installs `r` as current() for this scope, restoring the previous
+  /// registry (usually null) on destruction. Null `r` masks any outer
+  /// registry, so nested scenario runs never cross-register.
+  class Scope {
+   public:
+    explicit Scope(Registry* r);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Registry* prev_;
+  };
+
+ private:
+  struct Entry {
+    const void* owner;
+    std::string path;
+    const Counter* counter;   // exactly one of these three is non-null
+    const Gauge* gauge;
+    const std::int64_t* raw;
+  };
+
+  [[nodiscard]] std::string unique_path(std::string path) const;
+
+  std::vector<Entry> entries_;
+  std::vector<Queue> queues_;
+};
+
+}  // namespace nfvsb::obs

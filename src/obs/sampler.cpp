@@ -1,0 +1,38 @@
+#include "obs/sampler.h"
+
+#include "obs/trace.h"
+
+namespace nfvsb::obs {
+
+QueueSampler::QueueSampler(core::Simulator& sim, const Registry& reg,
+                           core::SimDuration period, core::SimTime stop_at)
+    : sim_(sim), reg_(reg), period_(period), stop_at_(stop_at) {
+  // Self-stopping, so the timer id is deliberately dropped.
+  (void)sim_.schedule_every(period_, core::Simulator::RecurringFn([this] {
+    if (sim_.now() > stop_at_) return core::Simulator::kStopTimer;
+    sample();
+    return period_;
+  }));
+}
+
+void QueueSampler::sample() {
+  ++samples_;
+  for (const Registry::Queue& q : reg_.queues()) {
+    const std::size_t depth = q.depth(q.owner);
+    hists_[q.path].add(static_cast<core::SimDuration>(depth));
+    if (TraceRecorder* t = tracer()) t->counter(q.path, depth);
+  }
+}
+
+void QueueSampler::append_summary(
+    std::vector<std::pair<std::string, std::uint64_t>>& out) const {
+  for (const auto& [path, h] : hists_) {
+    out.emplace_back(path + "/depth_samples", h.count());
+    out.emplace_back(path + "/depth_p99",
+                     static_cast<std::uint64_t>(h.p99()));
+    out.emplace_back(path + "/depth_max",
+                     static_cast<std::uint64_t>(h.max_value()));
+  }
+}
+
+}  // namespace nfvsb::obs

@@ -1,0 +1,130 @@
+// Chrome-trace / Perfetto recorder over *simulated* time.
+//
+// Events are recorded in simulation picoseconds and emitted as Chrome JSON
+// (ts/dur in microseconds, formatted exactly from integer picoseconds, so
+// output is bit-deterministic). Load the file in ui.perfetto.dev or
+// chrome://tracing. Emitted shapes:
+//  * complete ("X") spans on named tracks — switch service rounds, NIC wire
+//    serialization;
+//  * instants ("i") — ring drops;
+//  * counters ("C") — sampled queue depths;
+//  * async begin/end ("b"/"e") pairs keyed by a per-packet trace id —
+//    1-in-N sampled packets followed hop-by-hop, one slice per ring
+//    residency.
+//
+// Cost discipline: hooks in hot code test obs::tracer() for null and do
+// nothing else. With the NFVSB_TRACE compile option OFF, tracer() is a
+// constexpr nullptr and every hook folds away entirely; the recorder class
+// itself stays compiled (cold code, used by tests and tools).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+#ifndef NFVSB_TRACE
+#define NFVSB_TRACE 0
+#endif
+
+namespace nfvsb::core {
+class Simulator;
+}  // namespace nfvsb::core
+
+namespace nfvsb::obs {
+
+class TraceRecorder {
+ public:
+  struct Config {
+    /// Destination file written by the destructor ("" = caller exports via
+    /// to_json()/write_json()).
+    std::string path;
+    /// Follow every Nth generated packet hop-by-hop (0 = none).
+    std::uint32_t packet_sample_every{64};
+  };
+
+  /// Numeric id of a named track (Chrome "tid"); interned on first use.
+  using TrackId = std::uint32_t;
+
+  TraceRecorder(core::Simulator& sim, Config cfg);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  [[nodiscard]] TrackId track(const std::string& name);
+
+  /// Complete span on `t`: [start, start+dur), with a free-form numeric
+  /// argument (e.g. batch size).
+  void complete(TrackId t, const char* name, core::SimTime start,
+                core::SimDuration dur, std::uint64_t arg);
+  /// Thread-scoped instant on `t` at the current simulation time.
+  void instant(TrackId t, const char* name);
+  /// Counter sample at the current simulation time.
+  void counter(const std::string& name, std::uint64_t value);
+
+  /// Packet-lifecycle slices: one "b"/"e" pair per stage the sampled packet
+  /// resides in, all grouped under its trace id.
+  void async_begin(std::uint32_t trace_id, const std::string& stage);
+  void async_end(std::uint32_t trace_id, const std::string& stage);
+
+  /// True when the packet with generator sequence `seq` should be followed.
+  [[nodiscard]] bool sample_hit(std::uint64_t seq) const {
+    return cfg_.packet_sample_every > 0 &&
+           seq % cfg_.packet_sample_every == 0;
+  }
+  /// Fresh non-zero per-packet trace id.
+  [[nodiscard]] std::uint32_t next_packet_id() { return ++last_packet_id_; }
+
+  struct Event {
+    char ph;            // 'X', 'i', 'C', 'b', 'e'
+    TrackId track;      // 'X'/'i' only
+    std::string name;   // slice / counter name
+    core::SimTime ts;   // picoseconds
+    core::SimDuration dur;  // 'X' only
+    std::uint64_t id;   // 'b'/'e' only (packet trace id)
+    std::uint64_t arg;  // 'X' batch size / 'C' value
+  };
+
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  [[nodiscard]] std::size_t num_events() const { return events_.size(); }
+
+  [[nodiscard]] std::string to_json() const;
+  /// False when the file cannot be opened.
+  bool write_json(const std::string& path) const;
+
+ private:
+  core::Simulator& sim_;
+  Config cfg_;
+  std::map<std::string, TrackId> tracks_;  // ordered: deterministic metadata
+  std::vector<Event> events_;
+  std::uint32_t last_packet_id_{0};
+};
+
+namespace internal {
+/// Thread-local active recorder (campaign workers trace independently).
+extern thread_local TraceRecorder* g_tracer;
+}  // namespace internal
+
+#if NFVSB_TRACE
+[[nodiscard]] inline TraceRecorder* tracer() { return internal::g_tracer; }
+#else
+[[nodiscard]] constexpr TraceRecorder* tracer() { return nullptr; }
+#endif
+
+/// Installs a recorder as the thread's active tracer for this scope,
+/// restoring the previous one (usually null) on destruction.
+class TraceInstall {
+ public:
+  explicit TraceInstall(TraceRecorder* t);
+  ~TraceInstall();
+  TraceInstall(const TraceInstall&) = delete;
+  TraceInstall& operator=(const TraceInstall&) = delete;
+
+ private:
+  TraceRecorder* prev_;
+};
+
+}  // namespace nfvsb::obs

@@ -45,14 +45,20 @@ class Packet {
   std::uint64_t seq{0};
   /// Non-zero marks a latency probe (PTP-style); value is the probe id.
   std::uint64_t probe_id{0};
-  /// Wire timestamp at first transmission (NIC HW timestamp semantics).
-  core::SimTime tx_timestamp{0};
-  /// Software timestamp written by a generator into the payload path.
-  core::SimTime sw_timestamp{0};
+  /// Wire timestamp at first transmission (NIC HW timestamp semantics);
+  /// core::kNoTimestamp until stamped (t=0 is a valid stamp).
+  core::SimTime tx_timestamp{core::kNoTimestamp};
+  /// Software timestamp written by a generator into the payload path;
+  /// core::kNoTimestamp until stamped.
+  core::SimTime sw_timestamp{core::kNoTimestamp};
   /// Number of simulated full-payload copies this packet suffered so far.
   std::uint32_t copy_count{0};
   /// Generator id, used by monitors to demultiplex counters.
   std::uint32_t origin{0};
+  /// Non-zero when this packet is followed hop-by-hop by the trace
+  /// recorder (obs/trace.h). Not copied by clone(): a clone is a new
+  /// buffer, and double-tracked ids would unbalance the lifecycle slices.
+  std::uint32_t trace_id{0};
 
   /// Simulate a memcpy of the payload (cost is charged by the caller's cost
   /// model; this records the fact for invariant checks).

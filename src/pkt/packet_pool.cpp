@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/registry.h"
+
 namespace nfvsb::pkt {
 
 PacketPool::PacketPool(std::size_t capacity)
@@ -16,10 +18,15 @@ PacketPool::PacketPool(std::size_t capacity)
     p.pool_next_ = free_list_;
     free_list_ = &p;
   }
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    reg->add_counter(this, "pool/alloc_failures", &alloc_failures_);
+  }
 }
 
 PacketPool::~PacketPool() {
   assert(outstanding_ == 0 && "packets leaked past their pool's lifetime");
+  if (registry_ != nullptr) registry_->remove(this);
 }
 
 PacketHandle PacketPool::allocate() {
@@ -35,10 +42,11 @@ PacketHandle PacketPool::allocate() {
   p->size_ = 0;
   p->seq = 0;
   p->probe_id = 0;
-  p->tx_timestamp = 0;
-  p->sw_timestamp = 0;
+  p->tx_timestamp = core::kNoTimestamp;
+  p->sw_timestamp = core::kNoTimestamp;
   p->copy_count = 0;
   p->origin = 0;
+  p->trace_id = 0;
   return PacketHandle{p};
 }
 

@@ -13,7 +13,12 @@
 #include <cstddef>
 #include <memory>
 
+#include "obs/counter.h"
 #include "pkt/packet.h"
+
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
 
 namespace nfvsb::pkt {
 
@@ -51,9 +56,10 @@ class PacketPool {
 
   std::size_t capacity_;
   std::size_t outstanding_{0};
-  std::uint64_t alloc_failures_{0};
+  obs::Counter alloc_failures_;
   std::unique_ptr<Packet[]> slab_;
   Packet* free_list_{nullptr};
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::pkt

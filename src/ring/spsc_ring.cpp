@@ -2,7 +2,29 @@
 
 #include <cassert>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace nfvsb::ring {
+
+SpscRing::SpscRing(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    reg->add_counter(this, "ring/" + name_ + "/enqueued", &enqueued_);
+    reg->add_counter(this, "ring/" + name_ + "/dequeued", &dequeued_);
+    reg->add_counter(this, "ring/" + name_ + "/drops", &drops_);
+    reg->add_counter(this, "ring/" + name_ + "/cleared", &cleared_);
+    reg->add_queue(this, "ring/" + name_, capacity_,
+                   [](const void* owner) {
+                     return static_cast<const SpscRing*>(owner)->size();
+                   });
+  }
+}
+
+SpscRing::~SpscRing() {
+  if (registry_ != nullptr) registry_->remove(this);
+}
 
 bool SpscRing::enqueue(pkt::PacketHandle p) {
   if (sink_) {
@@ -13,9 +35,15 @@ bool SpscRing::enqueue(pkt::PacketHandle p) {
   }
   if (q_.size() >= capacity_) {
     ++drops_;
+    if (obs::TraceRecorder* t = obs::tracer()) {
+      t->instant(t->track("ring/" + name_), "drop");
+    }
     return false;  // handle destructor frees the packet
   }
   const bool was_empty = q_.empty();
+  if (obs::TraceRecorder* t = obs::tracer()) {
+    if (p->trace_id != 0) t->async_begin(p->trace_id, name_);
+  }
   q_.push_back(std::move(p));
   ++enqueued_;
   if (watcher_) watcher_(was_empty);
@@ -27,12 +55,27 @@ pkt::PacketHandle SpscRing::dequeue() {
   pkt::PacketHandle p = std::move(q_.front());
   q_.pop_front();
   ++dequeued_;
+  if (obs::TraceRecorder* t = obs::tracer()) {
+    if (p->trace_id != 0) t->async_end(p->trace_id, name_);
+  }
   return p;
 }
 
 void SpscRing::set_sink(Sink s) {
   assert(q_.empty() && "install sinks before traffic starts");
   sink_ = std::move(s);
+}
+
+void SpscRing::clear() {
+  cleared_ += q_.size();
+  if (obs::TraceRecorder* t = obs::tracer()) {
+    // Close the residency slice of any traced resident, or the lifecycle
+    // track would end with an unbalanced "b".
+    for (const pkt::PacketHandle& p : q_) {
+      if (p->trace_id != 0) t->async_end(p->trace_id, name_);
+    }
+  }
+  q_.clear();
 }
 
 }  // namespace nfvsb::ring

@@ -13,27 +13,39 @@
 // Enqueueing into a full ring drops the packet (freed back to its pool) and
 // counts the drop — this is where all simulated loss happens, exactly as in
 // the real systems (NIC imissed, vring full, link overflow).
+//
+// Every ring registers its counters ("ring/<name>/...") and a depth probe
+// with the active obs::Registry (if any) at construction, and emits trace
+// events (residency slices for sampled packets, drop instants) when a trace
+// recorder is installed.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <utility>
 
+#include "core/event_fn.h"
+#include "obs/counter.h"
 #include "pkt/packet.h"
+
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
 
 namespace nfvsb::ring {
 
 class SpscRing {
  public:
   /// Invoked after every successful enqueue; the argument is true when the
-  /// ring transitioned empty -> non-empty with this packet.
-  using Watcher = std::function<void(bool became_nonempty)>;
-  using Sink = std::function<void(pkt::PacketHandle)>;
+  /// ring transitioned empty -> non-empty with this packet. SmallFn, not
+  /// std::function: the ring is the hottest path in the tree and watcher
+  /// installation must never implicitly heap-allocate per wake.
+  using Watcher = core::SmallFn<void, bool>;
+  using Sink = core::SmallFn<void, pkt::PacketHandle>;
 
-  SpscRing(std::string name, std::size_t capacity)
-      : name_(std::move(name)), capacity_(capacity) {}
+  SpscRing(std::string name, std::size_t capacity);
+  ~SpscRing();
 
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
@@ -52,6 +64,9 @@ class SpscRing {
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
   [[nodiscard]] std::uint64_t enqueued() const { return enqueued_; }
   [[nodiscard]] std::uint64_t dequeued() const { return dequeued_; }
+  /// Packets discarded by clear() at teardown (counted so the
+  /// packet-conservation ledger still balances with buffered residue).
+  [[nodiscard]] std::uint64_t cleared() const { return cleared_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Fires on every successful enqueue (see Watcher).
@@ -61,8 +76,10 @@ class SpscRing {
   /// must be empty when the sink is installed.
   void set_sink(Sink s);
 
-  /// Drop everything buffered (used at scenario teardown).
-  void clear() { q_.clear(); }
+  /// Drop everything buffered (used at scenario teardown). The discarded
+  /// packets are counted in cleared(): enqueued == dequeued + cleared +
+  /// size() holds at all times.
+  void clear();
 
  private:
   std::string name_;
@@ -70,9 +87,11 @@ class SpscRing {
   std::deque<pkt::PacketHandle> q_;
   Watcher watcher_;
   Sink sink_;
-  std::uint64_t drops_{0};
-  std::uint64_t enqueued_{0};
-  std::uint64_t dequeued_{0};
+  obs::Counter drops_;
+  obs::Counter enqueued_;
+  obs::Counter dequeued_;
+  obs::Counter cleared_;
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::ring

@@ -12,6 +12,8 @@
 // accounted in the vhost backend.
 #pragma once
 
+#include "obs/counter.h"
+#include "obs/registry.h"
 #include "ring/port.h"
 
 namespace nfvsb::ring {
@@ -38,7 +40,16 @@ class VhostUserPort final : public Port {
  public:
   explicit VhostUserPort(std::string name,
                          std::size_t ring_depth = kVirtioRingDepth)
-      : Port(std::move(name), PortKind::kVhostUser, ring_depth) {}
+      : Port(std::move(name), PortKind::kVhostUser, ring_depth) {
+    if (obs::Registry* reg = obs::Registry::current()) {
+      registry_ = reg;
+      reg->add_counter(this, "port/" + this->name() + "/kicks", &kicks_);
+    }
+  }
+
+  ~VhostUserPort() override {
+    if (registry_ != nullptr) registry_->remove(this);
+  }
 
   // The backend copies in both directions (rte_vhost enqueue/dequeue).
   [[nodiscard]] bool copies_on_rx() const override { return true; }
@@ -49,7 +60,8 @@ class VhostUserPort final : public Port {
   void note_kick() { ++kicks_; }
 
  private:
-  std::uint64_t kicks_{0};
+  obs::Counter kicks_;
+  obs::Registry* registry_{nullptr};
 };
 
 /// The VM-facing side of a vhost-user attachment.

@@ -1,11 +1,16 @@
 // Shared machinery for the scenario builders (internal header).
 #pragma once
 
+#include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/simulator.h"
 #include "hw/numa.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "scenario/scenario.h"
@@ -16,11 +21,51 @@
 namespace nfvsb::scenario::detail {
 
 /// Everything a scenario owns. Declaration order fixes teardown order:
-/// the simulator dies last (pending-event lambdas may hold packets), the
-/// pool second-to-last (all ring-held packets must be home by then).
+/// the registry dies last (components deregister from their destructors),
+/// then the simulator (pending-event lambdas may hold packets), then the
+/// pool (all ring-held packets must be home by then). The trace scope
+/// uninstalls before its recorder is destroyed, and the recorder before the
+/// simulator it timestamps from.
 struct Env {
   explicit Env(const ScenarioConfig& cfg)
-      : sim(cfg.seed), testbed(sim, testbed_config(cfg)), pool(1 << 16) {}
+      : registry(make_registry(cfg)),
+        registry_scope(registry.get()),
+        sim(cfg.seed),
+        tracer(make_tracer(sim, cfg)),
+        trace_scope(tracer.get()),
+        testbed(sim, testbed_config(cfg)),
+        pool(1 << 16) {
+    if (registry && cfg.queue_sample_period > 0) {
+      sampler.emplace(sim, *registry, cfg.queue_sample_period, t_stop(cfg));
+    }
+  }
+
+  static std::unique_ptr<obs::Registry> make_registry(
+      const ScenarioConfig& cfg) {
+    if (!cfg.observe && cfg.queue_sample_period <= 0) return nullptr;
+    return std::make_unique<obs::Registry>();
+  }
+
+  static std::unique_ptr<obs::TraceRecorder> make_tracer(
+      core::Simulator& sim, const ScenarioConfig& cfg) {
+    if (!NFVSB_TRACE || cfg.trace_path.empty()) return nullptr;
+    obs::TraceRecorder::Config tc;
+    tc.path = cfg.trace_path;
+    tc.packet_sample_every = cfg.trace_packet_sample;
+    return std::make_unique<obs::TraceRecorder>(sim, tc);
+  }
+
+  /// Fold the registry snapshot (and any sampler summaries) into `r`.
+  /// Call after the final drain, before the Env goes out of scope.
+  void collect(ScenarioResult& r) const {
+    if (!registry) return;
+    r.counters = registry->snapshot();
+    if (sampler) sampler->append_summary(r.counters);
+    std::sort(r.counters.begin(), r.counters.end());
+    for (const auto& [path, value] : r.counters) {
+      if (path.ends_with("/cleared")) r.cleared_packets += value;
+    }
+  }
 
   static hw::Testbed::Config testbed_config(const ScenarioConfig& cfg) {
     hw::Testbed::Config tc;
@@ -50,9 +95,14 @@ struct Env {
     return tc;
   }
 
+  std::unique_ptr<obs::Registry> registry;
+  obs::Registry::Scope registry_scope;
   core::Simulator sim;
+  std::unique_ptr<obs::TraceRecorder> tracer;
+  obs::TraceInstall trace_scope;
   hw::Testbed testbed;
   pkt::PacketPool pool;
+  std::optional<obs::QueueSampler> sampler;
 
   [[nodiscard]] core::SimTime t_stop(const ScenarioConfig& cfg) const {
     return cfg.warmup + cfg.measure;

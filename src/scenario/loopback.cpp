@@ -138,6 +138,7 @@ ScenarioResult run_loopback_vale(const ScenarioConfig& cfg) {
     r.vnf_wasted_work += gv->vale().stats().tx_drops;
     r.vnf_discards += gv->vale().stats().discards;
   }
+  env.collect(r);
   return r;
 }
 
@@ -225,6 +226,7 @@ ScenarioResult run_loopback(const ScenarioConfig& cfg) {
     r.vnf_wasted_work += chain.vnf(i).stats().tx_drops;
     r.vnf_discards += chain.vnf(i).stats().discards;
   }
+  env.collect(r);
   return r;
 }
 

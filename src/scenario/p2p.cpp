@@ -89,6 +89,7 @@ ScenarioResult run_p2p(const ScenarioConfig& cfg) {
     r.sut_wasted_work += w->stats().tx_drops;
     r.sut_discards += w->stats().discards;
   }
+  env.collect(r);
   return r;
 }
 

@@ -143,6 +143,7 @@ ScenarioResult run_p2v(const ScenarioConfig& cfg) {
     }
     r.delivered_packets += env.testbed.nic(1, 0).rx_frames();
   }
+  env.collect(r);
   return r;
 }
 

@@ -12,6 +12,8 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/time.h"
 #include "switches/registry.h"
@@ -62,6 +64,20 @@ struct ScenarioConfig {
   /// Measurement window length.
   core::SimDuration measure{core::from_ms(25)};
   std::uint64_t seed{0x5eed};
+
+  // --- Observability (all off by default; observers never touch the data
+  // --- path, so an observed run measures identically to an unobserved one).
+  /// Collect the component counter registry into ScenarioResult::counters.
+  bool observe{false};
+  /// Snapshot every registered ring's occupancy this often (0 = off).
+  /// Implies counter collection. Summaries land in counters as
+  /// "<ring>/depth_{samples,p99,max}".
+  core::SimDuration queue_sample_period{0};
+  /// Write a Chrome-trace/Perfetto JSON of the run here (empty = off).
+  /// Requires a build with -DNFVSB_TRACE=ON; silently inert otherwise.
+  std::string trace_path;
+  /// Trace every Nth generated packet's lifecycle (0 = no packet tracks).
+  std::uint32_t trace_packet_sample{64};
 };
 
 struct DirectionResult {
@@ -106,13 +122,19 @@ struct ScenarioResult {
   std::uint64_t offered_packets{0};    ///< generator frames onto the wire
   std::uint64_t delivered_packets{0};  ///< frames at the terminal monitors
   std::uint64_t gen_tx_failures{0};    ///< generator-side TX ring drops
+  /// Packets still resident in rings at teardown (counted by
+  /// SpscRing::clear()); nonzero when a run stops mid-flight.
+  std::uint64_t cleared_packets{0};
 
   /// Packets accounted for after a fully drained run: delivered plus every
   /// attributed loss. Conservation holds iff this equals offered_packets.
   [[nodiscard]] std::uint64_t accounted_packets() const {
     return delivered_packets + nic_imissed + sut_wasted_work + sut_discards +
-           vnf_wasted_work + vnf_discards;
+           vnf_wasted_work + vnf_discards + cleared_packets;
   }
+
+  /// Registry snapshot (cfg.observe / queue sampling); sorted by path.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 /// Build and run one scenario to completion. Deterministic per config+seed.

@@ -126,6 +126,7 @@ ScenarioResult run_v2v_throughput(const ScenarioConfig& cfg, Env& env,
     r.gen_tx_failures += vale ? pg_rev->tx_failed() : mg_rev->tx_failed();
     r.delivered_packets += g1->rx_ring().enqueued();
   }
+  env.collect(r);
   return r;
 }
 
@@ -231,6 +232,7 @@ ScenarioResult run_v2v_latency(const ScenarioConfig& cfg, Env& env,
   }
   r.sut_wasted_work = sut.stats().tx_drops;
   r.sut_discards = sut.stats().discards;
+  env.collect(r);
   return r;
 }
 

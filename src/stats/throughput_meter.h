@@ -1,6 +1,11 @@
 // Receive-side throughput meter, mirroring what FloWatcher-DPDK / MoonGen RX
 // report: packets and wire-bytes over a measurement window, with an optional
 // warm-up period that is excluded (JIT warm-up, ARP, ring fill).
+//
+// Window convention is half-open [open_at, close_at): a packet at exactly
+// close_at belongs to the NEXT window, and window_duration is close_at -
+// open_at with no fencepost. The closed state is an explicit flag — t=0 is
+// a valid close time (a meter can open and close before any traffic).
 #pragma once
 
 #include <cstdint>
@@ -12,21 +17,25 @@ namespace nfvsb::stats {
 
 class ThroughputMeter {
  public:
-  /// Counting starts at `open_at` (earlier packets are ignored) and the
-  /// reported rate uses the [open_at, close_at] window set by close().
+  /// Counting starts at `open_at` (earlier packets are ignored) and stops
+  /// at the close_at set by close() (exclusive).
   explicit ThroughputMeter(core::SimTime open_at = 0) : open_at_(open_at) {}
 
   void on_packet(core::SimTime now, std::uint32_t frame_bytes) {
     if (now < open_at_) return;
-    if (close_at_ > 0 && now > close_at_) return;
+    if (closed_ && now >= close_at_) return;
     ++packets_;
     wire_bytes_ += frame_bytes + core::kWireOverheadBytes;
     last_seen_ = now;
   }
 
-  /// Freeze the window at `now` for rate computation.
-  void close(core::SimTime now) { close_at_ = now; }
+  /// Freeze the window at `now` for rate computation ([open_at, now)).
+  void close(core::SimTime now) {
+    close_at_ = now;
+    closed_ = true;
+  }
 
+  [[nodiscard]] bool closed() const { return closed_; }
   [[nodiscard]] std::uint64_t packets() const { return packets_; }
 
   [[nodiscard]] double pps() const {
@@ -47,12 +56,16 @@ class ThroughputMeter {
     wire_bytes_ = 0;
     open_at_ = open_at;
     close_at_ = 0;
-    last_seen_ = 0;
+    closed_ = false;
+    last_seen_ = core::kNoTimestamp;
   }
 
  private:
   [[nodiscard]] core::SimDuration window_duration() const {
-    const core::SimTime end = close_at_ > 0 ? close_at_ : last_seen_;
+    // Open meters report over [open_at, last packet seen]; closed meters
+    // over the frozen [open_at, close_at) window.
+    const core::SimTime end = closed_ ? close_at_ : last_seen_;
+    if (end == core::kNoTimestamp) return 0;
     return end - open_at_;
   }
 
@@ -60,7 +73,8 @@ class ThroughputMeter {
   std::uint64_t wire_bytes_{0};
   core::SimTime open_at_{0};
   core::SimTime close_at_{0};
-  core::SimTime last_seen_{0};
+  bool closed_{false};
+  core::SimTime last_seen_{core::kNoTimestamp};
 };
 
 }  // namespace nfvsb::stats

@@ -5,6 +5,9 @@
 #include <limits>
 #include <utility>
 
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace nfvsb::switches {
 
 SwitchBase::SwitchBase(core::Simulator& sim, hw::CpuCore& core,
@@ -14,7 +17,22 @@ SwitchBase::SwitchBase(core::Simulator& sim, hw::CpuCore& core,
       name_(std::move(name)),
       cost_(cost),
       rng_(sim.rng().split()),
-      run_round_timer_(sim, core::EventFn([this] { run_round(); })) {}
+      run_round_timer_(sim, core::EventFn([this] { run_round(); })) {
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    reg->add_counter(this, "switch/" + name_ + "/rx_packets",
+                     &stats_.rx_packets);
+    reg->add_counter(this, "switch/" + name_ + "/tx_packets",
+                     &stats_.tx_packets);
+    reg->add_counter(this, "switch/" + name_ + "/tx_drops", &stats_.tx_drops);
+    reg->add_counter(this, "switch/" + name_ + "/discards", &stats_.discards);
+    reg->add_counter(this, "switch/" + name_ + "/rounds", &stats_.rounds);
+  }
+}
+
+SwitchBase::~SwitchBase() {
+  if (registry_ != nullptr) registry_->remove(this);
+}
 
 ring::Port& SwitchBase::attach_nic(hw::NicPort& nic) {
   auto p = std::make_unique<ring::RingPort>(
@@ -190,7 +208,8 @@ void SwitchBase::run_round() {
   }
   ++stats_.rounds;
 
-  core_.submit(core::from_ns(actual_ns), [this, out] {
+  const core::SimTime round_start = sim_.now();
+  core_.submit(core::from_ns(actual_ns), [this, out, round_start, n_in] {
     for (Tx& t : *out) {
       if (t.out == nullptr) continue;  // datapath discard
       if (t.out->tx(std::move(t.pkt))) {
@@ -198,6 +217,10 @@ void SwitchBase::run_round() {
       } else {
         ++stats_.tx_drops;  // wasted work: cost already paid
       }
+    }
+    if (obs::TraceRecorder* tr = obs::tracer()) {
+      tr->complete(tr->track("switch/" + name_), "round", round_start,
+                   sim_.now() - round_start, n_in);
     }
     continue_or_idle();
   });

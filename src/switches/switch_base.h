@@ -23,30 +23,35 @@
 #include "core/simulator.h"
 #include "hw/cpu_core.h"
 #include "hw/nic.h"
+#include "obs/counter.h"
 #include "pkt/packet.h"
 #include "ring/netmap_port.h"
 #include "ring/port.h"
 #include "ring/vhost_user_port.h"
 #include "switches/cost_model.h"
 
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
+
 namespace nfvsb::switches {
 
 struct SwitchStats {
-  std::uint64_t rx_packets{0};
-  std::uint64_t tx_packets{0};
+  obs::Counter rx_packets;
+  obs::Counter tx_packets;
   /// Packets fully processed but dropped at a full output ring: the cycles
   /// were spent for nothing (wasted work).
-  std::uint64_t tx_drops{0};
+  obs::Counter tx_drops;
   /// Packets the datapath itself discarded (no route / TTL / filter).
-  std::uint64_t discards{0};
-  std::uint64_t rounds{0};
+  obs::Counter discards;
+  obs::Counter rounds;
 };
 
 class SwitchBase {
  public:
   SwitchBase(core::Simulator& sim, hw::CpuCore& core, std::string name,
              CostModel cost);
-  virtual ~SwitchBase() = default;
+  virtual ~SwitchBase();
 
   SwitchBase(const SwitchBase&) = delete;
   SwitchBase& operator=(const SwitchBase&) = delete;
@@ -145,6 +150,15 @@ class SwitchBase {
   /// ports_.size() = none yet.
   std::size_t last_served_{static_cast<std::size_t>(-1)};
   SwitchStats stats_;
+
+ protected:
+  /// Non-null when an obs::Registry was active at construction; subclasses
+  /// may register extra counters against it (deregistration of everything
+  /// owned by `this` happens in ~SwitchBase).
+  [[nodiscard]] obs::Registry* registry() { return registry_; }
+
+ private:
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::switches

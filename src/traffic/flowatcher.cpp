@@ -29,7 +29,7 @@ void FloWatcher::consume(pkt::PacketHandle p) {
   } else {
     ++non_ip_;
   }
-  if (p->probe_id != 0 && p->sw_timestamp != 0) {
+  if (p->probe_id != 0 && p->sw_timestamp != core::kNoTimestamp) {
     latency_.record(sim_.now() - p->sw_timestamp);
   }
 }

@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 #include <utility>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace nfvsb::traffic {
 
 MoonGen::MoonGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg)
-    : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {}
+    : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    const std::string base = "gen/moongen." + std::to_string(cfg_.origin);
+    reg->add_counter(this, base + "/tx_sent", &tx_sent_);
+    reg->add_counter(this, base + "/tx_failed", &tx_failed_);
+    reg->add_counter(this, base + "/pool_exhausted", &pool_exhausted_);
+  }
+}
+
+MoonGen::~MoonGen() {
+  if (registry_ != nullptr) registry_->remove(this);
+}
 
 void MoonGen::attach_tx_nic(hw::NicPort& nic) {
   assert(tx_nic_ == nullptr && tx_guest_ == nullptr);
@@ -61,6 +77,9 @@ void MoonGen::emit_one() {
   p->seq = ++seq_;
   p->origin = cfg_.origin;
   pkt::write_payload_seq(*p, p->seq);
+  if (obs::TraceRecorder* t = obs::tracer()) {
+    if (t->sample_hit(seq_)) p->trace_id = t->next_packet_id();
+  }
   if (cfg_.probe_interval > 0 && sim_.now() >= next_probe_at_) {
     p->probe_id = ++probe_seq_;
     next_probe_at_ = sim_.now() + cfg_.probe_interval;
@@ -73,9 +92,12 @@ void MoonGen::emit_one() {
   }
 }
 
-core::SimDuration MoonGen::gap() const {
-  return static_cast<core::SimDuration>(static_cast<double>(core::kSecond) /
-                                        pace_pps_);
+core::SimDuration MoonGen::gap() {
+  const double exact =
+      static_cast<double>(core::kSecond) / pace_pps_ + pace_frac_;
+  const auto whole = static_cast<core::SimDuration>(exact);
+  pace_frac_ = exact - static_cast<double>(whole);
+  return whole;
 }
 
 bool MoonGen::send(pkt::PacketHandle p) {
@@ -94,7 +116,7 @@ void MoonGen::attach_rx_nic(hw::NicPort& nic) {
     nic.rx_ring(q).set_sink([this](pkt::PacketHandle p) {
       rx_meter_.on_packet(sim_.now(), p->size());
       if (cfg_.software_timestamps && p->probe_id != 0 &&
-          p->sw_timestamp != 0) {
+          p->sw_timestamp != core::kNoTimestamp) {
         latency_.record(sim_.now() - p->sw_timestamp);
       }
     });
@@ -104,14 +126,16 @@ void MoonGen::attach_rx_nic(hw::NicPort& nic) {
 void MoonGen::attach_rx_guest(ring::GuestPort& port) {
   port.rx_ring().set_sink([this](pkt::PacketHandle p) {
     rx_meter_.on_packet(sim_.now(), p->size());
-    if (p->probe_id != 0 && p->sw_timestamp != 0) {
+    if (p->probe_id != 0 && p->sw_timestamp != core::kNoTimestamp) {
       latency_.record(sim_.now() - p->sw_timestamp);
     }
   });
 }
 
 void MoonGen::on_rx(const pkt::Packet& p, core::SimTime now) {
-  if (p.tx_timestamp != 0) latency_.record(now - p.tx_timestamp);
+  if (p.tx_timestamp != core::kNoTimestamp) {
+    latency_.record(now - p.tx_timestamp);
+  }
 }
 
 }  // namespace nfvsb::traffic

@@ -16,11 +16,16 @@
 #include "core/simulator.h"
 #include "core/units.h"
 #include "hw/nic.h"
+#include "obs/counter.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "ring/vhost_user_port.h"
 #include "stats/latency_recorder.h"
 #include "stats/throughput_meter.h"
+
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
 
 namespace nfvsb::traffic {
 
@@ -46,6 +51,10 @@ class MoonGen {
   };
 
   MoonGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg);
+  ~MoonGen();
+
+  MoonGen(const MoonGen&) = delete;
+  MoonGen& operator=(const MoonGen&) = delete;
 
   // --- TX ----------------------------------------------------------------
   /// Transmit through a physical NIC port (node-1 generator).
@@ -80,7 +89,11 @@ class MoonGen {
 
  private:
   void emit_one();
-  [[nodiscard]] core::SimDuration gap() const;
+  /// Next inter-packet gap. Mutates pace_frac_: the exact gap is rarely an
+  /// integer picosecond count, and the fractional remainder is carried to
+  /// the next re-arm so the long-run rate matches pace_pps_ exactly
+  /// (truncating it every packet inflated the rate by up to 1 ps/packet).
+  [[nodiscard]] core::SimDuration gap();
   bool send(pkt::PacketHandle p);
   void on_rx(const pkt::Packet& p, core::SimTime now);
 
@@ -90,15 +103,18 @@ class MoonGen {
   hw::NicPort* tx_nic_{nullptr};
   ring::GuestPort* tx_guest_{nullptr};
   double pace_pps_{0};
+  /// Fractional picoseconds owed to the pacing clock (see gap()).
+  double pace_frac_{0};
   core::SimTime tx_until_{0};
   core::SimTime next_probe_at_{0};
-  std::uint64_t tx_sent_{0};
-  std::uint64_t tx_failed_{0};
-  std::uint64_t pool_exhausted_{0};
+  obs::Counter tx_sent_;
+  obs::Counter tx_failed_;
+  obs::Counter pool_exhausted_;
   std::uint64_t seq_{0};
   std::uint64_t probe_seq_{0};
   stats::ThroughputMeter rx_meter_;
   stats::LatencyRecorder latency_;
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::traffic

@@ -1,18 +1,33 @@
 #include "traffic/pktgen.h"
 
 #include <cassert>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace nfvsb::traffic {
 
 PktGen::PktGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg)
-    : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {}
+    : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {
+  if (obs::Registry* reg = obs::Registry::current()) {
+    registry_ = reg;
+    const std::string base = "gen/pktgen." + std::to_string(cfg_.origin);
+    reg->add_counter(this, base + "/tx_sent", &tx_sent_);
+    reg->add_counter(this, base + "/tx_failed", &tx_failed_);
+  }
+}
+
+PktGen::~PktGen() {
+  if (registry_ != nullptr) registry_->remove(this);
+}
 
 void PktGen::attach_tx(ring::GuestPort& port) {
   assert(tx_port_ == nullptr);
   tx_port_ = &port;
 }
 
-core::SimDuration PktGen::gap() const {
+core::SimDuration PktGen::gap() {
   const double prep_ns =
       cfg_.prep_fixed_ns +
       cfg_.prep_byte_ns * static_cast<double>(cfg_.frame.frame_bytes);
@@ -21,7 +36,12 @@ core::SimDuration PktGen::gap() const {
     gap_ps = std::max(gap_ps,
                       static_cast<double>(core::kSecond) / cfg_.rate_pps);
   }
-  return static_cast<core::SimDuration>(gap_ps);
+  // Carry the sub-picosecond remainder to the next re-arm: truncating it
+  // every frame overstated the achieved rate by up to 1 ps/frame.
+  const double exact = gap_ps + pace_frac_;
+  const auto whole = static_cast<core::SimDuration>(exact);
+  pace_frac_ = exact - static_cast<double>(whole);
+  return whole;
 }
 
 void PktGen::start_tx(core::SimTime at, core::SimTime until) {
@@ -47,6 +67,9 @@ void PktGen::emit_one() {
     p->seq = ++seq_;
     p->origin = cfg_.origin;
     pkt::write_payload_seq(*p, p->seq);
+    if (obs::TraceRecorder* t = obs::tracer()) {
+      if (t->sample_hit(seq_)) p->trace_id = t->next_packet_id();
+    }
     if (cfg_.probe_interval > 0 && sim_.now() >= next_probe_at_) {
       p->probe_id = ++probe_seq_;
       p->sw_timestamp = sim_.now();
@@ -63,7 +86,7 @@ void PktGen::emit_one() {
 void PktGen::attach_rx(ring::GuestPort& port) {
   port.rx_ring().set_sink([this](pkt::PacketHandle p) {
     rx_meter_.on_packet(sim_.now(), p->size());
-    if (p->probe_id != 0 && p->sw_timestamp != 0) {
+    if (p->probe_id != 0 && p->sw_timestamp != core::kNoTimestamp) {
       latency_.record(sim_.now() - p->sw_timestamp);
     }
   });

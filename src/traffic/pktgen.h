@@ -13,11 +13,16 @@
 #include <cstdint>
 
 #include "core/simulator.h"
+#include "obs/counter.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "ring/vhost_user_port.h"
 #include "stats/latency_recorder.h"
 #include "stats/throughput_meter.h"
+
+namespace nfvsb::obs {
+class Registry;
+}  // namespace nfvsb::obs
 
 namespace nfvsb::traffic {
 
@@ -37,6 +42,10 @@ class PktGen {
   };
 
   PktGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg);
+  ~PktGen();
+
+  PktGen(const PktGen&) = delete;
+  PktGen& operator=(const PktGen&) = delete;
 
   void attach_tx(ring::GuestPort& port);
   void start_tx(core::SimTime at, core::SimTime until);
@@ -56,7 +65,10 @@ class PktGen {
 
  private:
   void emit_one();
-  [[nodiscard]] core::SimDuration gap() const;
+  /// Next inter-frame gap; carries the fractional-picosecond remainder in
+  /// pace_frac_ so long-run throughput matches the prep-cost/pacing model
+  /// exactly (see MoonGen::gap()).
+  [[nodiscard]] core::SimDuration gap();
 
   core::Simulator& sim_;
   pkt::PacketPool& pool_;
@@ -64,12 +76,14 @@ class PktGen {
   ring::GuestPort* tx_port_{nullptr};
   core::SimTime tx_until_{0};
   core::SimTime next_probe_at_{0};
-  std::uint64_t tx_sent_{0};
-  std::uint64_t tx_failed_{0};
+  double pace_frac_{0};
+  obs::Counter tx_sent_;
+  obs::Counter tx_failed_;
   std::uint64_t seq_{0};
   std::uint64_t probe_seq_{0};
   stats::ThroughputMeter rx_meter_;
   stats::LatencyRecorder latency_;
+  obs::Registry* registry_{nullptr};
 };
 
 }  // namespace nfvsb::traffic

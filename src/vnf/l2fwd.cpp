@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/registry.h"
 #include "pkt/headers.h"
 
 namespace nfvsb::vnf {
@@ -27,7 +28,17 @@ switches::CostModel L2Fwd::default_cost_model() {
 
 L2Fwd::L2Fwd(core::Simulator& sim, hw::CpuCore& vcpu, std::string name,
              switches::CostModel cost)
-    : SwitchBase(sim, vcpu, std::move(name), cost) {}
+    : SwitchBase(sim, vcpu, std::move(name), cost) {
+  if (obs::Registry* reg = registry()) {
+    // Registered under the base `this`, so ~SwitchBase deregisters them.
+    reg->add_counter(static_cast<switches::SwitchBase*>(this),
+                     "switch/" + this->name() + "/drain_flushes",
+                     &drain_flushes_);
+    reg->add_counter(static_cast<switches::SwitchBase*>(this),
+                     "switch/" + this->name() + "/full_flushes",
+                     &full_flushes_);
+  }
+}
 
 void L2Fwd::bind_virtio_pair(ring::VhostUserPort& dev0,
                              ring::VhostUserPort& dev1) {

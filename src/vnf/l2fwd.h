@@ -70,8 +70,8 @@ class L2Fwd final : public switches::SwitchBase {
   core::SimDuration drain_timeout_{kDrainTimeout};
   std::array<TxBuffer, 2> tx_buf_;
   std::array<std::optional<pkt::MacAddress>, 2> rewrite_;
-  std::uint64_t drain_flushes_{0};
-  std::uint64_t full_flushes_{0};
+  obs::Counter drain_flushes_;
+  obs::Counter full_flushes_;
 };
 
 }  // namespace nfvsb::vnf

@@ -7,6 +7,8 @@
 // silently lost" property.
 #include <gtest/gtest.h>
 
+#include "pkt/packet_pool.h"
+#include "ring/spsc_ring.h"
 #include "scenario/scenario.h"
 
 namespace nfvsb::scenario {
@@ -69,6 +71,28 @@ INSTANTIATE_TEST_SUITE_P(
       for (auto& c : n) if (c == '-') c = '_';
       return n;
     });
+
+// Regression: tearing a ring down with buffered residue used to make the
+// ledger books not balance — clear() freed the packets without counting
+// them anywhere, so enqueued != dequeued + <any loss site>. clear() now
+// counts into cleared() and the ring-local conservation identity
+//   enqueued == dequeued + cleared + size()
+// holds at every point of the lifecycle, residue included.
+TEST(RingConservation, TeardownWithResidueIsCounted) {
+  pkt::PacketPool pool(16);
+  ring::SpscRing ring("residue", 8);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.enqueue(pool.allocate()));
+  }
+  (void)ring.dequeue();
+  (void)ring.dequeue();
+  EXPECT_EQ(ring.enqueued(), ring.dequeued() + ring.cleared() + ring.size());
+  ring.clear();  // teardown with 3 packets still buffered
+  EXPECT_EQ(ring.cleared(), 3u);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.enqueued(), ring.dequeued() + ring.cleared() + ring.size());
+  EXPECT_EQ(pool.outstanding(), 0u);  // cleared packets went home
+}
 
 }  // namespace
 }  // namespace nfvsb::scenario

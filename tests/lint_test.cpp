@@ -315,7 +315,11 @@ TEST(LintOptions, OnlyRulesRestrictsTheRun) {
 class LintRunTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path(::testing::TempDir()) / "nfvsb_lint_run";
+    // Per-case directory: ctest runs sibling cases concurrently, and a
+    // shared path makes TearDown delete another case's files mid-run.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           (std::string("nfvsb_lint_run_") + info->name());
     std::filesystem::create_directories(dir_ / "src" / "core");
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

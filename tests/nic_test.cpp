@@ -135,6 +135,20 @@ TEST_F(NicTest, NonProbeFramesNotTimestamped) {
   a_.tx_ring().enqueue(frame(64, /*probe=*/0));
   sim_.run();
   ASSERT_TRUE(got);
+  EXPECT_EQ(got->tx_timestamp, core::kNoTimestamp);
+}
+
+// Regression: a probe already stamped at t=0 must keep that stamp. The old
+// "already stamped" check was tx_timestamp != 0, so a 0 stamp was treated
+// as unset and overwritten at serialization end, corrupting the latency.
+TEST_F(NicTest, ProbeStampedAtTimeZeroKeepsItsStamp) {
+  pkt::PacketHandle got;
+  b_.rx_ring().set_sink([&](pkt::PacketHandle p) { got = std::move(p); });
+  auto f = frame(64, /*probe=*/3);
+  f->tx_timestamp = 0;
+  a_.tx_ring().enqueue(std::move(f));
+  sim_.run();
+  ASSERT_TRUE(got);
   EXPECT_EQ(got->tx_timestamp, 0);
 }
 

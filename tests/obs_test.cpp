@@ -1,0 +1,369 @@
+// Observability layer: counter registry semantics, queue-depth sampling
+// against a hand-scripted occupancy timeline, trace recorder JSON shape,
+// hook balance on a live data path, and the two invariants the layer must
+// never break — observed runs measure identically to unobserved ones, and
+// observed campaign JSON is thread-count independent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/runner.h"
+#include "campaign/serialize.h"
+#include "core/simulator.h"
+#include "hw/cable.h"
+#include "hw/nic.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "pkt/packet_pool.h"
+#include "ring/spsc_ring.h"
+#include "scenario/scenario.h"
+#include "traffic/moongen.h"
+
+namespace nfvsb::obs {
+namespace {
+
+// ---- registry ------------------------------------------------------------
+
+TEST(Registry, SnapshotIsSortedByPath) {
+  Registry reg;
+  Counter a, b;
+  Gauge g;
+  a += 3;
+  b += 5;
+  g.set(2);
+  int o1 = 0, o2 = 0;
+  reg.add_counter(&o1, "z/last", &a);
+  reg.add_counter(&o2, "a/first", &b);
+  reg.add_gauge(&o1, "m/mid", &g);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0], (std::pair<std::string, std::uint64_t>{"a/first", 5}));
+  EXPECT_EQ(snap[1], (std::pair<std::string, std::uint64_t>{"m/mid", 2}));
+  EXPECT_EQ(snap[2], (std::pair<std::string, std::uint64_t>{"z/last", 3}));
+}
+
+TEST(Registry, DuplicatePathsGetStableSuffixes) {
+  Registry reg;
+  Counter a, b, c;
+  int o1 = 0, o2 = 0, o3 = 0;
+  reg.add_counter(&o1, "ring/r/drops", &a);
+  reg.add_counter(&o2, "ring/r/drops", &b);
+  reg.add_counter(&o3, "ring/r/drops", &c);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "ring/r/drops");
+  EXPECT_EQ(snap[1].first, "ring/r/drops#2");
+  EXPECT_EQ(snap[2].first, "ring/r/drops#3");
+}
+
+TEST(Registry, RemoveDropsOnlyThatOwner) {
+  Registry reg;
+  Counter a, b;
+  int o1 = 0, o2 = 0;
+  reg.add_counter(&o1, "one", &a);
+  reg.add_counter(&o2, "two", &b);
+  reg.add_queue(&o1, "q1", 8, [](const void*) { return std::size_t{0}; });
+  reg.remove(&o1);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].first, "two");
+  EXPECT_TRUE(reg.queues().empty());
+}
+
+TEST(Registry, ScopeInstallsAndRestores) {
+  EXPECT_EQ(Registry::current(), nullptr);
+  Registry r1;
+  {
+    Registry::Scope s1(&r1);
+    EXPECT_EQ(Registry::current(), &r1);
+    {
+      Registry::Scope s2(nullptr);  // mask: nested runs never cross-register
+      EXPECT_EQ(Registry::current(), nullptr);
+    }
+    EXPECT_EQ(Registry::current(), &r1);
+  }
+  EXPECT_EQ(Registry::current(), nullptr);
+}
+
+TEST(Registry, RingRegistersCountersAndDepthProbe) {
+  Registry reg;
+  pkt::PacketPool pool(4);  // outside the scope: not registered
+  Registry::Scope scope(&reg);
+  {
+    ring::SpscRing ring("r0", 4);
+    EXPECT_EQ(reg.size(), 4u);  // enqueued, dequeued, drops, cleared
+    ASSERT_EQ(reg.queues().size(), 1u);
+    const Registry::Queue& q = reg.queues()[0];
+    EXPECT_EQ(q.path, "ring/r0");
+    EXPECT_EQ(q.capacity, 4u);
+    EXPECT_EQ(q.depth(q.owner), 0u);
+    ring.enqueue(pool.allocate());
+    EXPECT_EQ(q.depth(q.owner), 1u);
+    ring.clear();
+    const auto snap = reg.snapshot();
+    const auto it = std::find_if(snap.begin(), snap.end(), [](const auto& e) {
+      return e.first == "ring/r0/cleared";
+    });
+    ASSERT_NE(it, snap.end());
+    EXPECT_EQ(it->second, 1u);
+  }
+  EXPECT_EQ(reg.size(), 0u);  // destructor deregistered everything
+  EXPECT_TRUE(reg.queues().empty());
+}
+
+// ---- queue-depth sampler -------------------------------------------------
+
+TEST(QueueSampler, HistogramMatchesScriptedOccupancy) {
+  Registry reg;
+  Registry::Scope scope(&reg);
+  core::Simulator sim;
+  pkt::PacketPool pool(16);
+  ring::SpscRing ring("s", 8);
+  QueueSampler sampler(sim, reg, core::from_us(10), core::from_us(100));
+  // Occupancy timeline: 0 until 25 us, 2 until 55 us, 1 until 75 us, then 0.
+  sim.post_at(core::from_us(25), [&] {
+    ring.enqueue(pool.allocate());
+    ring.enqueue(pool.allocate());
+  });
+  sim.post_at(core::from_us(55), [&] { (void)ring.dequeue(); });
+  sim.post_at(core::from_us(75), [&] { (void)ring.dequeue(); });
+  sim.run();
+  // Samples at 10,20,...,100 us: depths 0,0,2,2,2,1,1,0,0,0.
+  EXPECT_EQ(sampler.samples(), 10u);
+  const auto& h = sampler.histograms().at("ring/s");
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.min_value(), 0);
+  EXPECT_EQ(h.max_value(), 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.8);  // (5*0 + 2*1 + 3*2) / 10
+  std::vector<std::pair<std::string, std::uint64_t>> summary;
+  sampler.append_summary(summary);
+  ASSERT_EQ(summary.size(), 3u);
+  EXPECT_EQ(summary[0],
+            (std::pair<std::string, std::uint64_t>{"ring/s/depth_samples", 10}));
+  EXPECT_EQ(summary[1],
+            (std::pair<std::string, std::uint64_t>{"ring/s/depth_p99", 2}));
+  EXPECT_EQ(summary[2],
+            (std::pair<std::string, std::uint64_t>{"ring/s/depth_max", 2}));
+}
+
+// ---- trace recorder ------------------------------------------------------
+
+TEST(TraceRecorder, JsonIsWellFormed) {
+  core::Simulator sim;
+  TraceRecorder tr(sim, TraceRecorder::Config{});
+  const auto t = tr.track("switch/sut");
+  tr.complete(t, "round", core::from_ns(10), core::from_ns(5), 32);
+  tr.instant(t, "drop");
+  tr.counter("ring/r0", 3);
+  tr.async_begin(1, "ring/r0");
+  tr.async_end(1, "ring/r0");
+  const std::string j = tr.to_json();
+  // Structural checks: brace/bracket balance and the required envelope.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'),
+            std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['),
+            std::count(j.begin(), j.end(), ']'));
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"displayTimeUnit\""), std::string::npos);
+  // 10 ns = 0.01 us: the fixed-point formatter must not lose the fraction.
+  EXPECT_NE(j.find("\"ts\":0.010000"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+}
+
+#if NFVSB_TRACE
+// Data-path hooks, exercised end-to-end: every sampled packet's lifecycle
+// slices must balance (each "b" closed by exactly one "e"), spans must have
+// non-negative durations, and timestamps must be non-negative.
+TEST(TraceHooks, LiveDataPathEmitsBalancedEvents) {
+  core::Simulator sim;
+  TraceRecorder::Config tc;
+  tc.packet_sample_every = 1;  // trace every packet
+  TraceRecorder tr(sim, tc);
+  TraceInstall install(&tr);
+  pkt::PacketPool pool(1 << 10);
+  hw::NicPort a(sim, "a");
+  hw::NicPort b(sim, "b");
+  hw::Cable cable(sim, a, b);
+  traffic::MoonGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  traffic::MoonGen gen(sim, pool, cfg);
+  gen.attach_tx_nic(a);
+  traffic::MoonGen mon(sim, pool, traffic::MoonGen::Config{});
+  mon.attach_rx_nic(b);
+  gen.start_tx(0, core::from_us(100));
+  sim.run();
+  ASSERT_GT(tr.num_events(), 0u);
+  std::map<std::uint64_t, int> open;
+  for (const auto& e : tr.events()) {
+    EXPECT_GE(e.ts, 0);
+    if (e.ph == 'X') {
+      EXPECT_GE(e.dur, 0);
+    }
+    if (e.ph == 'b') {
+      EXPECT_EQ(open[e.id], 0) << "nested begin for id " << e.id;
+      ++open[e.id];
+    }
+    if (e.ph == 'e') {
+      EXPECT_EQ(open[e.id], 1) << "end without begin for id " << e.id;
+      --open[e.id];
+    }
+  }
+  for (const auto& [id, n] : open) {
+    EXPECT_EQ(n, 0) << "unbalanced lifecycle for id " << id;
+  }
+}
+
+TEST(TraceHooks, ClearClosesResidentSlices) {
+  core::Simulator sim;
+  TraceRecorder tr(sim, TraceRecorder::Config{});
+  TraceInstall install(&tr);
+  pkt::PacketPool pool(4);
+  ring::SpscRing ring("r", 4);
+  auto p = pool.allocate();
+  p->trace_id = tr.next_packet_id();
+  ring.enqueue(std::move(p));
+  ring.clear();  // teardown with a traced resident
+  int begins = 0, ends = 0;
+  for (const auto& e : tr.events()) {
+    if (e.ph == 'b') ++begins;
+    if (e.ph == 'e') ++ends;
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+}
+#endif  // NFVSB_TRACE
+
+// ---- observer transparency ----------------------------------------------
+
+// The layer's core contract: observation must not perturb the measurement.
+TEST(ObservedScenario, MeasuresIdenticallyToUnobserved) {
+  scenario::ScenarioConfig cfg;
+  cfg.kind = scenario::Kind::kP2p;
+  cfg.sut = switches::SwitchType::kVpp;
+  cfg.warmup = core::from_ms(1);
+  cfg.measure = core::from_ms(2);
+  const scenario::ScenarioResult plain = scenario::run_scenario(cfg);
+  scenario::ScenarioConfig ocfg = cfg;
+  ocfg.observe = true;
+  ocfg.queue_sample_period = core::from_us(10);
+  const scenario::ScenarioResult observed = scenario::run_scenario(ocfg);
+
+  EXPECT_DOUBLE_EQ(plain.fwd.gbps, observed.fwd.gbps);
+  EXPECT_DOUBLE_EQ(plain.fwd.mpps, observed.fwd.mpps);
+  EXPECT_EQ(plain.fwd.rx_packets, observed.fwd.rx_packets);
+  EXPECT_EQ(plain.offered_packets, observed.offered_packets);
+  EXPECT_EQ(plain.delivered_packets, observed.delivered_packets);
+  EXPECT_EQ(plain.nic_imissed, observed.nic_imissed);
+  EXPECT_EQ(plain.sut_wasted_work, observed.sut_wasted_work);
+
+  EXPECT_TRUE(plain.counters.empty());
+  ASSERT_FALSE(observed.counters.empty());
+  EXPECT_TRUE(
+      std::is_sorted(observed.counters.begin(), observed.counters.end()));
+  // The counter plane must agree with the scalar result fields.
+  const auto value_of = [&](const std::string& path) -> std::uint64_t {
+    for (const auto& [p, v] : observed.counters) {
+      if (p == path) return v;
+    }
+    ADD_FAILURE() << "missing counter " << path;
+    return 0;
+  };
+  EXPECT_EQ(value_of("gen/moongen.1/tx_sent"), observed.offered_packets);
+  EXPECT_GT(value_of("switch/sut/rounds"), 0u);
+  // Sampler summaries are folded into the same counter list.
+  const bool has_depth_summary = std::any_of(
+      observed.counters.begin(), observed.counters.end(),
+      [](const auto& e) { return e.first.ends_with("/depth_samples"); });
+  EXPECT_TRUE(has_depth_summary);
+  EXPECT_EQ(observed.offered_packets, observed.accounted_packets());
+}
+
+TEST(ObservedCampaign, JsonIsThreadCountIndependent) {
+  campaign::Campaign c("obs-grid", 0x5eed);
+  for (auto sw :
+       {switches::SwitchType::kVpp, switches::SwitchType::kOvsDpdk}) {
+    for (std::uint32_t frame : {64u, 256u}) {
+      scenario::ScenarioConfig cfg;
+      cfg.kind = scenario::Kind::kP2p;
+      cfg.sut = sw;
+      cfg.frame_bytes = frame;
+      cfg.warmup = core::from_ms(1);
+      cfg.measure = core::from_ms(2);
+      cfg.observe = true;
+      cfg.queue_sample_period = core::from_us(50);
+      c.add(std::string(switches::to_string(sw)) + "/" +
+                std::to_string(frame) + "B",
+            cfg);
+    }
+  }
+  const auto render = [&](int threads) {
+    campaign::RunnerOptions o;
+    o.threads = threads;
+    o.cache_dir = "";  // observed points are uncacheable anyway
+    campaign::CampaignRunner runner(o);
+    const campaign::ResultSet rs = runner.run(c);
+    std::string out;
+    for (const auto& pr : rs.all()) {
+      out += pr.label + "=" + campaign::result_to_json(pr.result) + "\n";
+    }
+    return out;
+  };
+  const std::string one = render(1);
+  const std::string eight = render(8);
+  EXPECT_EQ(one, eight);
+  EXPECT_NE(one.find("\"counters\""), std::string::npos);
+}
+
+// ---- serialization -------------------------------------------------------
+
+TEST(Serialize, ObservedConfigsAreNotCacheable) {
+  scenario::ScenarioConfig cfg;
+  EXPECT_TRUE(campaign::cacheable(cfg));
+  scenario::ScenarioConfig o1 = cfg;
+  o1.observe = true;
+  EXPECT_FALSE(campaign::cacheable(o1));
+  scenario::ScenarioConfig o2 = cfg;
+  o2.queue_sample_period = core::from_us(10);
+  EXPECT_FALSE(campaign::cacheable(o2));
+  scenario::ScenarioConfig o3 = cfg;
+  o3.trace_path = "t.json";
+  EXPECT_FALSE(campaign::cacheable(o3));
+}
+
+TEST(Serialize, ResultJsonRoundTripsObsFields) {
+  scenario::ScenarioResult r;
+  r.offered_packets = 10;
+  r.cleared_packets = 7;
+  r.counters = {{"ring/a/drops", 1}, {"switch/sut/rounds", 123456}};
+  const std::string j = campaign::result_to_json(r);
+  const auto back = campaign::result_from_json(j);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cleared_packets, 7u);
+  EXPECT_EQ(back->counters, r.counters);
+  EXPECT_EQ(campaign::result_to_json(*back), j);
+}
+
+TEST(Serialize, UnobservedJsonKeepsPreObsFormat) {
+  scenario::ScenarioResult r;
+  const std::string j = campaign::result_to_json(r);
+  EXPECT_EQ(j.find("counters"), std::string::npos);
+  EXPECT_EQ(j.find("cleared_packets"), std::string::npos);
+  scenario::ScenarioConfig cfg;
+  const std::string cj = campaign::config_to_json(cfg);
+  EXPECT_EQ(cj.find("observe"), std::string::npos);
+  EXPECT_EQ(cj.find("trace"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfvsb::obs

@@ -55,7 +55,9 @@ TEST(PacketPool, MetadataResetOnAllocate) {
   EXPECT_EQ(p->size(), 0u);
   EXPECT_EQ(p->seq, 0u);
   EXPECT_EQ(p->probe_id, 0u);
-  EXPECT_EQ(p->tx_timestamp, 0);
+  EXPECT_EQ(p->tx_timestamp, core::kNoTimestamp);
+  EXPECT_EQ(p->sw_timestamp, core::kNoTimestamp);
+  EXPECT_EQ(p->trace_id, 0u);
   EXPECT_EQ(p->copy_count, 0u);
 }
 

@@ -170,5 +170,40 @@ TEST(ThroughputMeter, LineRateReadsTenGbps) {
   EXPECT_NEAR(m.gbps(), 10.0, 0.01);
 }
 
+// Regression: closing at t=0 must actually close the meter. The old code
+// used close_at_ > 0 as the "closed" flag, so a close(0) was ignored and
+// late packets kept counting.
+TEST(ThroughputMeter, CloseAtTimeZeroStopsCounting) {
+  ThroughputMeter m(0);
+  EXPECT_FALSE(m.closed());
+  m.close(0);
+  EXPECT_TRUE(m.closed());
+  m.on_packet(core::from_us(1), 64);
+  EXPECT_EQ(m.packets(), 0u);
+  EXPECT_DOUBLE_EQ(m.pps(), 0.0);
+}
+
+// Regression: the window is half-open [open, close) — a packet landing at
+// exactly close_at belongs to the next window. The old inclusive-both-ends
+// convention counted it, a fencepost that overstated pps by one packet.
+TEST(ThroughputMeter, PacketAtCloseInstantExcluded) {
+  ThroughputMeter m(0);
+  m.on_packet(core::from_us(1), 64);
+  m.close(core::from_us(2));
+  m.on_packet(core::from_us(2), 64);
+  EXPECT_EQ(m.packets(), 1u);
+}
+
+TEST(ThroughputMeter, ResetReopens) {
+  ThroughputMeter m(0);
+  m.on_packet(core::from_us(1), 64);
+  m.close(core::from_us(2));
+  m.reset(core::from_us(10));
+  EXPECT_FALSE(m.closed());
+  EXPECT_EQ(m.packets(), 0u);
+  m.on_packet(core::from_us(11), 64);
+  EXPECT_EQ(m.packets(), 1u);
+}
+
 }  // namespace
 }  // namespace nfvsb::stats

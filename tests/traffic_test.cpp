@@ -155,6 +155,81 @@ TEST(PktGenTest, LargerFramesSlowTheGenerator) {
   EXPECT_GT(small.tx_sent(), big.tx_sent());
 }
 
+// Regression: a probe emitted (and software-timestamped) at t=0 carries
+// sw_timestamp == 0, which is a perfectly valid instant. The old code used
+// 0 as the "no timestamp" sentinel and silently dropped the sample.
+TEST_F(MoonGenNicTest, ProbeAtTimeZeroIsMeasured) {
+  MoonGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  cfg.probe_interval = core::from_ms(10);  // only the t=0 probe fits
+  cfg.software_timestamps = true;
+  MoonGen gen(sim_, pool_, cfg);
+  gen.attach_tx_nic(a_);
+  gen.attach_rx_nic(b_);
+  gen.start_tx(0, core::from_us(100));
+  sim_.run();
+  EXPECT_EQ(gen.latency().samples(), 1u);
+}
+
+TEST(PktGenProbe, ProbeAtTimeZeroIsMeasured) {
+  core::Simulator sim;
+  pkt::PacketPool pool(64);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  // Loop the guest's TX straight back to its RX ring.
+  host.in().set_sink(
+      [&host](pkt::PacketHandle p) { host.out().enqueue(std::move(p)); });
+  PktGen::Config cfg;
+  cfg.rate_pps = 1e6;
+  cfg.probe_interval = core::from_ms(10);  // only the t=0 probe fits
+  PktGen gen(sim, pool, cfg);
+  gen.attach_tx(guest);
+  gen.attach_rx(guest);
+  gen.start_tx(0, core::from_us(100));
+  sim.run();
+  EXPECT_EQ(gen.latency().samples(), 1u);
+}
+
+// Regression: gap() used to truncate the exact inter-frame interval to
+// whole picoseconds every emission, so any rate whose period is not an
+// integer drifted fast by up to 1 ps/frame (27 ppm at 97 Mpps — visible in
+// any long offered-load ledger). The fractional remainder is now carried.
+TEST(PacingDrift, MoonGenOfferedLoadWithinOnePpm) {
+  core::Simulator sim;
+  pkt::PacketPool pool(64);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  host.in().set_sink([](pkt::PacketHandle) {});
+  MoonGen::Config cfg;
+  cfg.rate_pps = 9.7e7;  // period 10309.27 ps: fractional
+  MoonGen gen(sim, pool, cfg);
+  gen.attach_tx_guest(guest, cfg.rate_pps);
+  const core::SimTime t_end = core::from_ms(10);
+  gen.start_tx(0, t_end);
+  sim.run();
+  const double expected = cfg.rate_pps * core::to_sec(t_end);  // 970000
+  EXPECT_NEAR(static_cast<double>(gen.tx_sent()), expected,
+              std::max(3.0, 1e-6 * expected));
+}
+
+TEST(PacingDrift, PktGenOfferedLoadWithinOnePpm) {
+  core::Simulator sim;
+  pkt::PacketPool pool(64);
+  ring::PtnetPort host("pt");
+  ring::GuestPtnetPort guest(host);
+  host.in().set_sink([](pkt::PacketHandle) {});
+  PktGen::Config cfg;
+  cfg.rate_pps = 1.7e7;  // period 58823.53 ps: fractional (and > prep cost)
+  PktGen gen(sim, pool, cfg);
+  gen.attach_tx(guest);
+  const core::SimTime t_end = core::from_ms(60);
+  gen.start_tx(0, t_end);
+  sim.run();
+  const double expected = cfg.rate_pps * core::to_sec(t_end);  // 1020000
+  EXPECT_NEAR(static_cast<double>(gen.tx_sent()), expected,
+              std::max(3.0, 1e-6 * expected));
+}
+
 TEST(FloWatcherTest, CountsFlowsAndNonIp) {
   core::Simulator sim;
   pkt::PacketPool pool(16);
@@ -175,6 +250,21 @@ TEST(FloWatcherTest, CountsFlowsAndNonIp) {
   EXPECT_EQ(mon.flows().size(), 2u);
   EXPECT_EQ(mon.non_ip_packets(), 1u);
   EXPECT_EQ(mon.rx_meter().packets(), 4u);
+}
+
+// Regression: same t=0 sentinel bug on FloWatcher's probe capture.
+TEST(FloWatcherTest, ProbeStampedAtTimeZeroIsMeasured) {
+  core::Simulator sim;
+  pkt::PacketPool pool(4);
+  ring::SpscRing ring("r", 4);
+  FloWatcher mon(sim);
+  mon.attach_ring(ring);
+  auto p = pool.allocate();
+  pkt::craft_udp_frame(*p, pkt::FrameSpec{});
+  p->probe_id = 1;
+  p->sw_timestamp = 0;  // stamped at t=0: valid, not "unset"
+  ring.enqueue(std::move(p));
+  EXPECT_EQ(mon.latency().samples(), 1u);
 }
 
 }  // namespace

@@ -414,7 +414,9 @@ void rule_unordered_iter(Ctx& ctx) {
 
 void rule_std_function(Ctx& ctx) {
   if (!ctx.scope.src || (ctx.scope.subdir != "core" &&
+                         ctx.scope.subdir != "ring" &&
                          ctx.scope.subdir != "hw" &&
+                         ctx.scope.subdir != "obs" &&
                          ctx.scope.subdir != "switches")) {
     return;
   }
