@@ -2,16 +2,16 @@
 // taxonomy), Table 2 (parameter tunings) and Table 5 (use-case summary).
 #include <cstdio>
 
-#include "taxonomy/taxonomy.h"
+#include "scenario/taxonomy_tables.h"
 
 int main() {
   std::puts("== Table 1: Taxonomy of the seven software switches ==");
-  std::fputs(nfvsb::taxonomy::render_table1().c_str(), stdout);
+  std::fputs(nfvsb::scenario::render_table1().c_str(), stdout);
   std::puts("");
   std::puts("== Table 2: Applied parameter tunings ==");
-  std::fputs(nfvsb::taxonomy::render_table2().c_str(), stdout);
+  std::fputs(nfvsb::scenario::render_table2().c_str(), stdout);
   std::puts("");
   std::puts("== Table 5: Use-case summary ==");
-  std::fputs(nfvsb::taxonomy::render_table5().c_str(), stdout);
+  std::fputs(nfvsb::scenario::render_table5().c_str(), stdout);
   return 0;
 }

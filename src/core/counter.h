@@ -1,17 +1,18 @@
-// Registered statistic cells for the observability layer.
+// Registered statistic cells for the observation seam.
 //
 // A Counter is a monotone (occasionally credited-back) 64-bit event count; a
 // Gauge is a signed instantaneous level. Both are drop-in replacements for
 // the ad-hoc `std::uint64_t` members components used to keep: same
 // increment syntax, implicit read conversion, zero indirection — the cell IS
-// the storage, the Registry only remembers where it lives. Registration is
-// done once at wiring time (see obs/registry.h); the hot path never touches
-// the registry.
+// the storage, a MetricSink (core/metrics.h) only remembers where it lives.
+// Registration is done once at wiring time; the hot path never touches the
+// sink. The cells live in core so every data-path layer can own them without
+// depending on the obs machinery that reads them.
 #pragma once
 
 #include <cstdint>
 
-namespace nfvsb::obs {
+namespace nfvsb::core {
 
 class Counter {
  public:
@@ -62,4 +63,4 @@ class Gauge {
   std::int64_t v_{0};
 };
 
-}  // namespace nfvsb::obs
+}  // namespace nfvsb::core

@@ -1,0 +1,19 @@
+#include "core/metrics.h"
+
+namespace nfvsb::core {
+
+namespace {
+// Per-thread so campaign workers (one Env each) never share installation
+// state; see the header comment.
+thread_local MetricSink* g_metrics = nullptr;
+}  // namespace
+
+MetricSink* metrics() { return g_metrics; }
+
+MetricsScope::MetricsScope(MetricSink* s) : prev_(g_metrics) {
+  g_metrics = s;
+}
+
+MetricsScope::~MetricsScope() { g_metrics = prev_; }
+
+}  // namespace nfvsb::core

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "core/event_fn.h"
+#include "core/event_queue.h"
+
 namespace nfvsb::core {
 
 void Simulator::run_until(SimTime until) {

@@ -1,0 +1,15 @@
+#include "core/trace_sink.h"
+
+namespace nfvsb::core {
+
+namespace internal {
+thread_local TraceSink* g_tracer = nullptr;
+}  // namespace internal
+
+TraceInstall::TraceInstall(TraceSink* t) : prev_(internal::g_tracer) {
+  internal::g_tracer = t;
+}
+
+TraceInstall::~TraceInstall() { internal::g_tracer = prev_; }
+
+}  // namespace nfvsb::core

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "core/simulator.h"
 #include "hw/nic.h"
 
 namespace nfvsb::hw {

@@ -2,13 +2,15 @@
 
 #include <utility>
 
-#include "obs/registry.h"
+#include "core/event_fn.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
 
 namespace nfvsb::hw {
 
 CpuCore::CpuCore(core::Simulator& sim, std::string name, int numa_node)
     : sim_(sim), name_(std::move(name)), numa_node_(numa_node) {
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     // busy_time_ is a plain SimDuration (it participates in utilization
     // arithmetic); expose the cell directly as a gauge.

@@ -15,9 +15,9 @@
 #include "core/simulator.h"
 #include "core/time.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::hw {
 
@@ -64,7 +64,7 @@ class CpuCore {
   core::EventFn current_done_;
   core::SimDuration busy_time_{0};
   core::SimTime stats_since_{0};
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::hw

@@ -4,10 +4,12 @@
 #include <cassert>
 #include <utility>
 
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "core/trace_sink.h"
 #include "hw/cable.h"
-#include "obs/registry.h"
-#include "obs/trace.h"
 #include "pkt/headers.h"
+#include "ring/spsc_ring.h"
 
 namespace nfvsb::hw {
 
@@ -21,7 +23,7 @@ NicPort::NicPort(core::Simulator& sim, std::string name, Config cfg)
         name_ + ".tx" + std::to_string(q), cfg.tx_ring_depth));
     tx_rings_.back()->set_watcher([this](bool) { on_tx_enqueue(); });
   }
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     reg->add_counter(this, "nic/" + name_ + "/tx_frames", &tx_frames_);
     reg->add_counter(this, "nic/" + name_ + "/rx_frames", &rx_frames_);
@@ -63,7 +65,7 @@ core::SimDuration NicPort::serialize_step() {
         frame->tx_timestamp == core::kNoTimestamp) {
       frame->tx_timestamp = sim_.now();
     }
-    if (obs::TraceRecorder* t = obs::tracer()) {
+    if (core::TraceSink* t = core::tracer()) {
       if (frame->trace_id != 0) {
         t->complete(t->track("nic/" + name_ + "/wire"), "wire",
                     tx_wire_start_, sim_.now() - tx_wire_start_, frame->seq);

@@ -20,14 +20,15 @@
 #include <string>
 #include <vector>
 
+#include "core/counter.h"
+#include "core/event_fn.h"
 #include "core/simulator.h"
 #include "core/units.h"
-#include "obs/counter.h"
 #include "ring/spsc_ring.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::hw {
 
@@ -112,10 +113,10 @@ class NicPort {
   /// When the in-flight frame started serializing (trace wire spans).
   core::SimTime tx_wire_start_{0};
   std::size_t tx_rr_{0};
-  obs::Counter tx_frames_;
-  obs::Counter rx_frames_;
+  core::Counter tx_frames_;
+  core::Counter rx_frames_;
   RxTimestampHook rx_ts_hook_;
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::hw

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "core/simulator.h"
+
 namespace nfvsb::hw {
 
 Testbed::Testbed(core::Simulator& sim, Config cfg) {

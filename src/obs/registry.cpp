@@ -2,18 +2,9 @@
 
 #include <algorithm>
 
+#include "core/counter.h"
+
 namespace nfvsb::obs {
-
-namespace {
-// Per-thread so campaign workers (one Env each) never share installation
-// state; see the header comment.
-thread_local Registry* g_current = nullptr;
-}  // namespace
-
-Registry* Registry::current() { return g_current; }
-
-Registry::Scope::Scope(Registry* r) : prev_(g_current) { g_current = r; }
-Registry::Scope::~Scope() { g_current = prev_; }
 
 std::string Registry::unique_path(std::string path) const {
   auto taken = [this](const std::string& p) {
@@ -33,12 +24,13 @@ std::string Registry::unique_path(std::string path) const {
 }
 
 void Registry::add_counter(const void* owner, std::string path,
-                           const Counter* c) {
+                           const core::Counter* c) {
   entries_.push_back(
       Entry{owner, unique_path(std::move(path)), c, nullptr, nullptr});
 }
 
-void Registry::add_gauge(const void* owner, std::string path, const Gauge* g) {
+void Registry::add_gauge(const void* owner, std::string path,
+                         const core::Gauge* g) {
   entries_.push_back(
       Entry{owner, unique_path(std::move(path)), nullptr, g, nullptr});
 }

@@ -1,17 +1,17 @@
 // Hierarchical counter registry: the name plane of the observability layer.
 //
-// Components register their Counter/Gauge cells (and their queues' depth
-// probes) once at construction under slash-separated paths such as
-// "ring/vpp:nic1.rx0/drops" or "switch/vpp/rounds", and deregister in their
-// destructors. A Registry never owns the cells — it stores (owner, path,
-// pointer) rows, so reads are a pointer chase and registration cost is paid
-// only at wiring time, never on the data path.
+// Registry is the concrete core::MetricSink (see core/metrics.h for the
+// installation seam). Components register their core::Counter/Gauge cells
+// (and their queues' depth probes) once at construction under
+// slash-separated paths such as "ring/vpp:nic1.rx0/drops" or
+// "switch/vpp/rounds", and deregister in their destructors. A Registry
+// never owns the cells — it stores (owner, path, pointer) rows, so reads
+// are a pointer chase and registration cost is paid only at wiring time,
+// never on the data path.
 //
-// Installation is scoped and thread-local: a scenario that wants observation
-// creates a Registry and installs it with Registry::Scope for the duration
-// of testbed construction; every component checks Registry::current() in its
-// constructor. Campaign workers each build their own Env, so per-thread
-// installation keeps the 8-thread runner race-free with zero atomics.
+// Install with core::MetricsScope: a scenario that wants observation
+// creates a Registry and installs it for the duration of testbed
+// construction; every component checks core::metrics() in its constructor.
 #pragma once
 
 #include <cstddef>
@@ -20,15 +20,14 @@
 #include <utility>
 #include <vector>
 
-#include "obs/counter.h"
+#include "core/counter.h"
+#include "core/metrics.h"
 
 namespace nfvsb::obs {
 
-class Registry {
+class Registry final : public core::MetricSink {
  public:
-  /// Occupancy probe for a registered queue (plain function pointer: the
-  /// sampler calls it with the registered owner, no closure state needed).
-  using DepthFn = std::size_t (*)(const void* owner);
+  using DepthFn = core::MetricSink::DepthFn;
 
   struct Queue {
     const void* owner;
@@ -44,18 +43,21 @@ class Registry {
   /// Register a cell under `path`. Duplicate paths are disambiguated with a
   /// "#2", "#3"... suffix (stable: registration order is wiring order,
   /// which is deterministic per scenario).
-  void add_counter(const void* owner, std::string path, const Counter* c);
-  void add_gauge(const void* owner, std::string path, const Gauge* g);
+  void add_counter(const void* owner, std::string path,
+                   const core::Counter* c) override;
+  void add_gauge(const void* owner, std::string path,
+                 const core::Gauge* g) override;
   /// Raw signed cell (e.g. a SimDuration member) exposed as a gauge.
-  void add_value(const void* owner, std::string path, const std::int64_t* v);
+  void add_value(const void* owner, std::string path,
+                 const std::int64_t* v) override;
 
   /// Register a queue for depth sampling (see obs/sampler.h).
   void add_queue(const void* owner, std::string path, std::size_t capacity,
-                 DepthFn depth);
+                 DepthFn depth) override;
 
   /// Drop every row registered by `owner` (called from owner destructors,
   /// so a Registry may outlive any subset of its components).
-  void remove(const void* owner);
+  void remove(const void* owner) override;
 
   [[nodiscard]] const std::vector<Queue>& queues() const { return queues_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -65,30 +67,12 @@ class Registry {
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> snapshot()
       const;
 
-  /// The registry components register against at construction time
-  /// (thread-local; null when no observation is requested).
-  [[nodiscard]] static Registry* current();
-
-  /// Installs `r` as current() for this scope, restoring the previous
-  /// registry (usually null) on destruction. Null `r` masks any outer
-  /// registry, so nested scenario runs never cross-register.
-  class Scope {
-   public:
-    explicit Scope(Registry* r);
-    ~Scope();
-    Scope(const Scope&) = delete;
-    Scope& operator=(const Scope&) = delete;
-
-   private:
-    Registry* prev_;
-  };
-
  private:
   struct Entry {
     const void* owner;
     std::string path;
-    const Counter* counter;   // exactly one of these three is non-null
-    const Gauge* gauge;
+    const core::Counter* counter;  // exactly one of these three is non-null
+    const core::Gauge* gauge;
     const std::int64_t* raw;
   };
 

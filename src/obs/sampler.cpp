@@ -1,6 +1,7 @@
 #include "obs/sampler.h"
 
-#include "obs/trace.h"
+#include "core/simulator.h"
+#include "core/trace_sink.h"
 
 namespace nfvsb::obs {
 
@@ -20,7 +21,7 @@ void QueueSampler::sample() {
   for (const Registry::Queue& q : reg_.queues()) {
     const std::size_t depth = q.depth(q.owner);
     hists_[q.path].add(static_cast<core::SimDuration>(depth));
-    if (TraceRecorder* t = tracer()) t->counter(q.path, depth);
+    if (core::TraceSink* t = core::tracer()) t->counter(q.path, depth);
   }
 }
 

@@ -7,16 +7,6 @@
 
 namespace nfvsb::obs {
 
-namespace internal {
-thread_local TraceRecorder* g_tracer = nullptr;
-}  // namespace internal
-
-TraceInstall::TraceInstall(TraceRecorder* t) : prev_(internal::g_tracer) {
-  internal::g_tracer = t;
-}
-
-TraceInstall::~TraceInstall() { internal::g_tracer = prev_; }
-
 TraceRecorder::TraceRecorder(core::Simulator& sim, Config cfg)
     : sim_(sim), cfg_(std::move(cfg)) {}
 

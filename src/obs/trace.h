@@ -1,9 +1,11 @@
 // Chrome-trace / Perfetto recorder over *simulated* time.
 //
-// Events are recorded in simulation picoseconds and emitted as Chrome JSON
-// (ts/dur in microseconds, formatted exactly from integer picoseconds, so
-// output is bit-deterministic). Load the file in ui.perfetto.dev or
-// chrome://tracing. Emitted shapes:
+// TraceRecorder is the concrete core::TraceSink (see core/trace_sink.h for
+// the hook seam and the NFVSB_TRACE cost gate). Events are recorded in
+// simulation picoseconds and emitted as Chrome JSON (ts/dur in
+// microseconds, formatted exactly from integer picoseconds, so output is
+// bit-deterministic). Load the file in ui.perfetto.dev or chrome://tracing.
+// Emitted shapes:
 //  * complete ("X") spans on named tracks — switch service rounds, NIC wire
 //    serialization;
 //  * instants ("i") — ring drops;
@@ -12,10 +14,9 @@
 //    1-in-N sampled packets followed hop-by-hop, one slice per ring
 //    residency.
 //
-// Cost discipline: hooks in hot code test obs::tracer() for null and do
-// nothing else. With the NFVSB_TRACE compile option OFF, tracer() is a
-// constexpr nullptr and every hook folds away entirely; the recorder class
-// itself stays compiled (cold code, used by tests and tools).
+// Install with core::TraceInstall; hooks in hot code test core::tracer()
+// for null and do nothing else. The recorder class itself stays compiled
+// even with tracing off (cold code, used by tests and tools).
 #pragma once
 
 #include <cstdint>
@@ -24,10 +25,7 @@
 #include <vector>
 
 #include "core/time.h"
-
-#ifndef NFVSB_TRACE
-#define NFVSB_TRACE 0
-#endif
+#include "core/trace_sink.h"
 
 namespace nfvsb::core {
 class Simulator;
@@ -35,7 +33,7 @@ class Simulator;
 
 namespace nfvsb::obs {
 
-class TraceRecorder {
+class TraceRecorder final : public core::TraceSink {
  public:
   struct Config {
     /// Destination file written by the destructor ("" = caller exports via
@@ -45,38 +43,31 @@ class TraceRecorder {
     std::uint32_t packet_sample_every{64};
   };
 
-  /// Numeric id of a named track (Chrome "tid"); interned on first use.
-  using TrackId = std::uint32_t;
+  using TrackId = core::TraceSink::TrackId;
 
   TraceRecorder(core::Simulator& sim, Config cfg);
-  ~TraceRecorder();
+  ~TraceRecorder() override;
 
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
 
-  [[nodiscard]] TrackId track(const std::string& name);
+  [[nodiscard]] TrackId track(const std::string& name) override;
 
-  /// Complete span on `t`: [start, start+dur), with a free-form numeric
-  /// argument (e.g. batch size).
   void complete(TrackId t, const char* name, core::SimTime start,
-                core::SimDuration dur, std::uint64_t arg);
-  /// Thread-scoped instant on `t` at the current simulation time.
-  void instant(TrackId t, const char* name);
-  /// Counter sample at the current simulation time.
-  void counter(const std::string& name, std::uint64_t value);
+                core::SimDuration dur, std::uint64_t arg) override;
+  void instant(TrackId t, const char* name) override;
+  void counter(const std::string& name, std::uint64_t value) override;
 
-  /// Packet-lifecycle slices: one "b"/"e" pair per stage the sampled packet
-  /// resides in, all grouped under its trace id.
-  void async_begin(std::uint32_t trace_id, const std::string& stage);
-  void async_end(std::uint32_t trace_id, const std::string& stage);
+  void async_begin(std::uint32_t trace_id, const std::string& stage) override;
+  void async_end(std::uint32_t trace_id, const std::string& stage) override;
 
-  /// True when the packet with generator sequence `seq` should be followed.
-  [[nodiscard]] bool sample_hit(std::uint64_t seq) const {
+  [[nodiscard]] bool sample_hit(std::uint64_t seq) const override {
     return cfg_.packet_sample_every > 0 &&
            seq % cfg_.packet_sample_every == 0;
   }
-  /// Fresh non-zero per-packet trace id.
-  [[nodiscard]] std::uint32_t next_packet_id() { return ++last_packet_id_; }
+  [[nodiscard]] std::uint32_t next_packet_id() override {
+    return ++last_packet_id_;
+  }
 
   struct Event {
     char ph;            // 'X', 'i', 'C', 'b', 'e'
@@ -101,30 +92,6 @@ class TraceRecorder {
   std::map<std::string, TrackId> tracks_;  // ordered: deterministic metadata
   std::vector<Event> events_;
   std::uint32_t last_packet_id_{0};
-};
-
-namespace internal {
-/// Thread-local active recorder (campaign workers trace independently).
-extern thread_local TraceRecorder* g_tracer;
-}  // namespace internal
-
-#if NFVSB_TRACE
-[[nodiscard]] inline TraceRecorder* tracer() { return internal::g_tracer; }
-#else
-[[nodiscard]] constexpr TraceRecorder* tracer() { return nullptr; }
-#endif
-
-/// Installs a recorder as the thread's active tracer for this scope,
-/// restoring the previous one (usually null) on destruction.
-class TraceInstall {
- public:
-  explicit TraceInstall(TraceRecorder* t);
-  ~TraceInstall();
-  TraceInstall(const TraceInstall&) = delete;
-  TraceInstall& operator=(const TraceInstall&) = delete;
-
- private:
-  TraceRecorder* prev_;
 };
 
 }  // namespace nfvsb::obs

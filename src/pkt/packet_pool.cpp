@@ -3,7 +3,7 @@
 #include <cassert>
 #include <cstring>
 
-#include "obs/registry.h"
+#include "core/metrics.h"
 
 namespace nfvsb::pkt {
 
@@ -18,7 +18,7 @@ PacketPool::PacketPool(std::size_t capacity)
     p.pool_next_ = free_list_;
     free_list_ = &p;
   }
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     reg->add_counter(this, "pool/alloc_failures", &alloc_failures_);
   }

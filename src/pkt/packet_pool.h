@@ -13,12 +13,12 @@
 #include <cstddef>
 #include <memory>
 
-#include "obs/counter.h"
+#include "core/counter.h"
 #include "pkt/packet.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::pkt {
 
@@ -56,10 +56,10 @@ class PacketPool {
 
   std::size_t capacity_;
   std::size_t outstanding_{0};
-  obs::Counter alloc_failures_;
+  core::Counter alloc_failures_;
   std::unique_ptr<Packet[]> slab_;
   Packet* free_list_{nullptr};
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::pkt

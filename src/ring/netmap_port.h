@@ -8,6 +8,7 @@
 #pragma once
 
 #include "ring/port.h"
+#include "ring/spsc_ring.h"
 #include "ring/vhost_user_port.h"  // GuestPort
 
 namespace nfvsb::ring {

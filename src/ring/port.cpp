@@ -1,5 +1,7 @@
 #include "ring/port.h"
 
+#include "ring/spsc_ring.h"
+
 namespace nfvsb::ring {
 
 const char* to_string(PortKind k) {

@@ -2,14 +2,14 @@
 
 #include <cassert>
 
-#include "obs/registry.h"
-#include "obs/trace.h"
+#include "core/metrics.h"
+#include "core/trace_sink.h"
 
 namespace nfvsb::ring {
 
 SpscRing::SpscRing(std::string name, std::size_t capacity)
     : name_(std::move(name)), capacity_(capacity) {
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     reg->add_counter(this, "ring/" + name_ + "/enqueued", &enqueued_);
     reg->add_counter(this, "ring/" + name_ + "/dequeued", &dequeued_);
@@ -35,13 +35,13 @@ bool SpscRing::enqueue(pkt::PacketHandle p) {
   }
   if (q_.size() >= capacity_) {
     ++drops_;
-    if (obs::TraceRecorder* t = obs::tracer()) {
+    if (core::TraceSink* t = core::tracer()) {
       t->instant(t->track("ring/" + name_), "drop");
     }
     return false;  // handle destructor frees the packet
   }
   const bool was_empty = q_.empty();
-  if (obs::TraceRecorder* t = obs::tracer()) {
+  if (core::TraceSink* t = core::tracer()) {
     if (p->trace_id != 0) t->async_begin(p->trace_id, name_);
   }
   q_.push_back(std::move(p));
@@ -55,7 +55,7 @@ pkt::PacketHandle SpscRing::dequeue() {
   pkt::PacketHandle p = std::move(q_.front());
   q_.pop_front();
   ++dequeued_;
-  if (obs::TraceRecorder* t = obs::tracer()) {
+  if (core::TraceSink* t = core::tracer()) {
     if (p->trace_id != 0) t->async_end(p->trace_id, name_);
   }
   return p;
@@ -68,7 +68,7 @@ void SpscRing::set_sink(Sink s) {
 
 void SpscRing::clear() {
   cleared_ += q_.size();
-  if (obs::TraceRecorder* t = obs::tracer()) {
+  if (core::TraceSink* t = core::tracer()) {
     // Close the residency slice of any traced resident, or the lifecycle
     // track would end with an unbalanced "b".
     for (const pkt::PacketHandle& p : q_) {

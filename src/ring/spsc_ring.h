@@ -15,9 +15,9 @@
 // the real systems (NIC imissed, vring full, link overflow).
 //
 // Every ring registers its counters ("ring/<name>/...") and a depth probe
-// with the active obs::Registry (if any) at construction, and emits trace
-// events (residency slices for sampled packets, drop instants) when a trace
-// recorder is installed.
+// with the active core::MetricSink (if any) at construction, and emits
+// trace events (residency slices for sampled packets, drop instants) when a
+// trace sink is installed.
 #pragma once
 
 #include <cstdint>
@@ -25,13 +25,13 @@
 #include <string>
 #include <utility>
 
+#include "core/counter.h"
 #include "core/event_fn.h"
-#include "obs/counter.h"
 #include "pkt/packet.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::ring {
 
@@ -87,11 +87,11 @@ class SpscRing {
   std::deque<pkt::PacketHandle> q_;
   Watcher watcher_;
   Sink sink_;
-  obs::Counter drops_;
-  obs::Counter enqueued_;
-  obs::Counter dequeued_;
-  obs::Counter cleared_;
-  obs::Registry* registry_{nullptr};
+  core::Counter drops_;
+  core::Counter enqueued_;
+  core::Counter dequeued_;
+  core::Counter cleared_;
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::ring

@@ -12,9 +12,10 @@
 // accounted in the vhost backend.
 #pragma once
 
-#include "obs/counter.h"
-#include "obs/registry.h"
+#include "core/counter.h"
+#include "core/metrics.h"
 #include "ring/port.h"
+#include "ring/spsc_ring.h"
 
 namespace nfvsb::ring {
 
@@ -41,7 +42,7 @@ class VhostUserPort final : public Port {
   explicit VhostUserPort(std::string name,
                          std::size_t ring_depth = kVirtioRingDepth)
       : Port(std::move(name), PortKind::kVhostUser, ring_depth) {
-    if (obs::Registry* reg = obs::Registry::current()) {
+    if (core::MetricSink* reg = core::metrics()) {
       registry_ = reg;
       reg->add_counter(this, "port/" + this->name() + "/kicks", &kicks_);
     }
@@ -60,8 +61,8 @@ class VhostUserPort final : public Port {
   void note_kick() { ++kicks_; }
 
  private:
-  obs::Counter kicks_;
-  obs::Registry* registry_{nullptr};
+  core::Counter kicks_;
+  core::MetricSink* registry_{nullptr};
 };
 
 /// The VM-facing side of a vhost-user attachment.

@@ -6,7 +6,9 @@
 #include <optional>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/simulator.h"
+#include "core/trace_sink.h"
 #include "hw/numa.h"
 #include "obs/registry.h"
 #include "obs/sampler.h"
@@ -15,6 +17,7 @@
 #include "pkt/packet_pool.h"
 #include "scenario/scenario.h"
 #include "stats/latency_recorder.h"
+#include "stats/throughput_meter.h"
 #include "switches/switch_base.h"
 #include "traffic/moongen.h"
 
@@ -96,10 +99,10 @@ struct Env {
   }
 
   std::unique_ptr<obs::Registry> registry;
-  obs::Registry::Scope registry_scope;
+  core::MetricsScope registry_scope;
   core::Simulator sim;
   std::unique_ptr<obs::TraceRecorder> tracer;
-  obs::TraceInstall trace_scope;
+  core::TraceInstall trace_scope;
   hw::Testbed testbed;
   pkt::PacketPool pool;
   std::optional<obs::QueueSampler> sampler;

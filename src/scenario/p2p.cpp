@@ -4,6 +4,7 @@
 
 #include "scenario/detail.h"
 #include "scenario/scenario.h"
+#include "switches/switch_base.h"
 
 namespace nfvsb::scenario {
 

@@ -3,12 +3,16 @@
 #include <stdexcept>
 #include <string>
 
+#include "pkt/crafting.h"
 #include "scenario/detail.h"
+#include "stats/latency_recorder.h"
+#include "stats/throughput_meter.h"
 #include "switches/bess/bess_switch.h"
 #include "switches/fastclick/fastclick_switch.h"
 #include "switches/ovs/ovs_ctl.h"
 #include "switches/ovs/ovs_switch.h"
 #include "switches/snabb/snabb_switch.h"
+#include "switches/switch_base.h"
 #include "switches/t4p4s/t4p4s_switch.h"
 #include "switches/vale/vale_switch.h"
 #include "switches/vpp/cli.h"

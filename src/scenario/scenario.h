@@ -17,6 +17,7 @@
 
 #include "core/time.h"
 #include "switches/registry.h"
+#include "switches/switch_base.h"
 
 namespace nfvsb::scenario {
 

@@ -1,0 +1,41 @@
+#include "scenario/taxonomy_tables.h"
+
+#include "scenario/report.h"
+#include "switches/registry.h"
+#include "taxonomy/taxonomy.h"
+
+namespace nfvsb::scenario {
+
+std::string render_table1() {
+  TextTable t({"Switch", "Architecture", "Paradigm", "Processing",
+               "Virt. iface", "Reprog.", "Languages", "Main purpose"});
+  for (const auto& p : taxonomy::profiles()) {
+    t.add_row({switches::to_string(p.type), taxonomy::to_string(p.architecture),
+               taxonomy::to_string(p.paradigm),
+               taxonomy::to_string(p.processing),
+               taxonomy::to_string(p.virtual_interface),
+               taxonomy::to_string(p.reprogrammability), p.languages,
+               p.main_purpose});
+  }
+  return t.to_string();
+}
+
+std::string render_table2() {
+  TextTable t({"Switch", "Applied tuning"});
+  for (const auto& p : taxonomy::profiles()) {
+    if (p.tuning[0] != '\0') {
+      t.add_row({switches::to_string(p.type), p.tuning});
+    }
+  }
+  return t.to_string();
+}
+
+std::string render_table5() {
+  TextTable t({"Switch", "Best at", "Remarks"});
+  for (const auto& p : taxonomy::profiles()) {
+    t.add_row({switches::to_string(p.type), p.best_at, p.remarks});
+  }
+  return t.to_string();
+}
+
+}  // namespace nfvsb::scenario

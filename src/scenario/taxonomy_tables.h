@@ -1,0 +1,17 @@
+// Text renderings of the paper's taxonomy tables (1, 2 and 5).
+//
+// The profile DATA lives in taxonomy/ (a leaf layer below scenario); the
+// renderers live here because they are presentation built on
+// scenario::TextTable, and taxonomy may not reach up into the reporting
+// layer (see tools/nfvsb-lint/layers.def).
+#pragma once
+
+#include <string>
+
+namespace nfvsb::scenario {
+
+std::string render_table1();
+std::string render_table2();
+std::string render_table5();
+
+}  // namespace nfvsb::scenario

@@ -8,6 +8,7 @@
 
 #include "scenario/detail.h"
 #include "scenario/scenario.h"
+#include "switches/switch_base.h"
 #include "traffic/flowatcher.h"
 #include "traffic/pktgen.h"
 #include "vnf/l2fwd.h"

@@ -3,6 +3,9 @@
 #include <memory>
 #include <utility>
 
+#include "core/simulator.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::bess {
 
 // Calibration (EXPERIMENTS.md): p2p 64B bidirectional 16 Gbps aggregate =

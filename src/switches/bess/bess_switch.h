@@ -8,6 +8,7 @@
 //    to build longer BESS chains exactly as the testbed did.
 #pragma once
 
+#include "core/simulator.h"
 #include "switches/bess/module.h"
 #include "switches/bess/modules.h"
 #include "switches/switch_base.h"

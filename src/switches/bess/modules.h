@@ -2,6 +2,7 @@
 // PMDPort + QueueInc -> QueueOut) and by the examples.
 #pragma once
 
+#include "core/rng.h"
 #include "switches/bess/module.h"
 
 namespace nfvsb::switches::bess {

@@ -1,5 +1,7 @@
 #include "switches/cost_model.h"
 
+#include "core/rng.h"
+
 namespace nfvsb::switches {
 
 double CostModel::sample_round_ns(double nominal_ns, core::Rng& rng) const {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/counter.h"
 #include "switches/fastclick/elements.h"
 
 namespace nfvsb::switches::fastclick {

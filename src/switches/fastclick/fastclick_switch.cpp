@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "core/simulator.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::fastclick {
 
 // Calibration (EXPERIMENTS.md): p2p 64B bidirectional ~13 Gbps aggregate =

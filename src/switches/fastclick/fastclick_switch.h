@@ -11,6 +11,7 @@
 //    (Sec. 5.3: 0.10 R+ >> 0.50 R+ for FastClick with long chains).
 #pragma once
 
+#include "core/simulator.h"
 #include "switches/fastclick/config_parser.h"
 #include "switches/fastclick/element.h"
 #include "switches/switch_base.h"

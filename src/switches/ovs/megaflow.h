@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "switches/ovs/flow.h"
@@ -35,14 +35,13 @@ class MegaflowCache {
   [[nodiscard]] std::uint64_t misses() const { return misses_; }
 
  private:
-  struct KeyHash {
-    std::size_t operator()(const FlowKey& k) const {
-      return static_cast<std::size_t>(k.hash());
-    }
-  };
+  // Ordered map (FlowKey has operator<=>): data-path layers ban the
+  // unordered containers so no future iteration can become hash-order
+  // dependent. Each subtable is small (exact-match entries under one mask)
+  // and lookups are find()-only, so the tree lookup is not a modelled cost.
   struct Subtable {
     FlowMask mask;
-    std::unordered_map<FlowKey, Action, KeyHash> flows;
+    std::map<FlowKey, Action> flows;
     std::uint64_t hit_count{0};  // for most-hit-first ordering
   };
 

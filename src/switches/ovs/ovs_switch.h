@@ -13,8 +13,9 @@
 // imposed by its match/action pipeline").
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
+#include "core/simulator.h"
 #include "switches/ovs/emc.h"
 #include "switches/ovs/megaflow.h"
 #include "switches/ovs/openflow_table.h"
@@ -61,7 +62,7 @@ class OvsSwitch final : public SwitchBase {
   Emc emc_;
   MegaflowCache megaflow_;
   OpenFlowTable openflow_;
-  std::unordered_map<std::uint32_t, std::uint64_t> rule_packets_;
+  std::map<std::uint32_t, std::uint64_t> rule_packets_;
   LookupCosts lookup_costs_;
   std::uint64_t upcalls_{0};
 };

@@ -1,9 +1,11 @@
 #include "switches/registry.h"
 
+#include "core/simulator.h"
 #include "switches/bess/bess_switch.h"
 #include "switches/fastclick/fastclick_switch.h"
 #include "switches/ovs/ovs_switch.h"
 #include "switches/snabb/snabb_switch.h"
+#include "switches/switch_base.h"
 #include "switches/t4p4s/t4p4s_switch.h"
 #include "switches/vale/vale_switch.h"
 #include "switches/vpp/vpp_switch.h"

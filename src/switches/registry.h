@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "core/simulator.h"
 #include "switches/switch_base.h"
 
 namespace nfvsb::switches {

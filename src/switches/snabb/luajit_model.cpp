@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/rng.h"
+
 namespace nfvsb::switches::snabb {
 
 double LuaJitModel::step_multiplier() {

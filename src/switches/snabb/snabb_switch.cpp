@@ -3,6 +3,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/simulator.h"
+#include "ring/spsc_ring.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::snabb {
 
 // Calibration (EXPERIMENTS.md): p2p 64B 8.9 Gbps = 13.2 Mpps -> ~75.5

@@ -14,6 +14,9 @@
 #include <memory>
 #include <vector>
 
+#include "core/rng.h"
+#include "core/simulator.h"
+#include "ring/spsc_ring.h"
 #include "switches/snabb/engine.h"
 #include "switches/snabb/luajit_model.h"
 #include "switches/switch_base.h"

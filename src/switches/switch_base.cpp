@@ -5,8 +5,10 @@
 #include <limits>
 #include <utility>
 
-#include "obs/registry.h"
-#include "obs/trace.h"
+#include "core/event_fn.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "core/trace_sink.h"
 
 namespace nfvsb::switches {
 
@@ -18,7 +20,7 @@ SwitchBase::SwitchBase(core::Simulator& sim, hw::CpuCore& core,
       cost_(cost),
       rng_(sim.rng().split()),
       run_round_timer_(sim, core::EventFn([this] { run_round(); })) {
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     reg->add_counter(this, "switch/" + name_ + "/rx_packets",
                      &stats_.rx_packets);
@@ -218,7 +220,7 @@ void SwitchBase::run_round() {
         ++stats_.tx_drops;  // wasted work: cost already paid
       }
     }
-    if (obs::TraceRecorder* tr = obs::tracer()) {
+    if (core::TraceSink* tr = core::tracer()) {
       tr->complete(tr->track("switch/" + name_), "round", round_start,
                    sim_.now() - round_start, n_in);
     }

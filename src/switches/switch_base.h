@@ -20,31 +20,32 @@
 #include <string>
 #include <vector>
 
+#include "core/counter.h"
+#include "core/rng.h"
 #include "core/simulator.h"
 #include "hw/cpu_core.h"
 #include "hw/nic.h"
-#include "obs/counter.h"
 #include "pkt/packet.h"
 #include "ring/netmap_port.h"
 #include "ring/port.h"
 #include "ring/vhost_user_port.h"
 #include "switches/cost_model.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::switches {
 
 struct SwitchStats {
-  obs::Counter rx_packets;
-  obs::Counter tx_packets;
+  core::Counter rx_packets;
+  core::Counter tx_packets;
   /// Packets fully processed but dropped at a full output ring: the cycles
   /// were spent for nothing (wasted work).
-  obs::Counter tx_drops;
+  core::Counter tx_drops;
   /// Packets the datapath itself discarded (no route / TTL / filter).
-  obs::Counter discards;
-  obs::Counter rounds;
+  core::Counter discards;
+  core::Counter rounds;
 };
 
 class SwitchBase {
@@ -152,13 +153,13 @@ class SwitchBase {
   SwitchStats stats_;
 
  protected:
-  /// Non-null when an obs::Registry was active at construction; subclasses
-  /// may register extra counters against it (deregistration of everything
-  /// owned by `this` happens in ~SwitchBase).
-  [[nodiscard]] obs::Registry* registry() { return registry_; }
+  /// Non-null when a core::MetricSink was installed at construction;
+  /// subclasses may register extra counters against it (deregistration of
+  /// everything owned by `this` happens in ~SwitchBase).
+  [[nodiscard]] core::MetricSink* registry() { return registry_; }
 
  private:
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::switches

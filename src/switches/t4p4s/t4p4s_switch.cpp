@@ -4,6 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/simulator.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::t4p4s {
 
 // Calibration (EXPERIMENTS.md): p2p 64B ~5.6 Gbps = 8.33 Mpps -> ~120

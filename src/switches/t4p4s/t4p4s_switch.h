@@ -13,6 +13,7 @@
 //    multi-ms tails under 0.99 R+ in loopback).
 #pragma once
 
+#include "core/simulator.h"
 #include "switches/switch_base.h"
 #include "switches/t4p4s/p4_pipeline.h"
 #include "switches/t4p4s/tables.h"

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "pkt/headers.h"
@@ -41,7 +40,7 @@ class ExactMacTable {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
-  std::unordered_map<std::uint64_t, P4Action> entries_;
+  std::map<std::uint64_t, P4Action> entries_;
 };
 
 /// Longest-prefix-match table on IPv4 destination.

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "core/simulator.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::vale {
 
 // Calibration (derivation in EXPERIMENTS.md):

@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "core/event_fn.h"
+#include "core/simulator.h"
 #include "switches/switch_base.h"
 #include "switches/vale/mac_table.h"
 

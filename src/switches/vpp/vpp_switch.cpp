@@ -3,6 +3,9 @@
 #include <memory>
 #include <utility>
 
+#include "core/simulator.h"
+#include "switches/switch_base.h"
+
 namespace nfvsb::switches::vpp {
 
 // Calibration (EXPERIMENTS.md): p2p 64B bidirectional ~12 Gbps aggregate =

@@ -10,6 +10,7 @@
 //    costs more than vhost tx in the calibrated model.
 #pragma once
 
+#include "core/simulator.h"
 #include "switches/switch_base.h"
 #include "switches/vpp/graph.h"
 #include "switches/vpp/nodes.h"

@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "scenario/report.h"
-
 namespace nfvsb::taxonomy {
 
 using switches::SwitchType;
@@ -80,37 +78,6 @@ const char* to_string(Reprogrammability r) {
     case Reprogrammability::kHigh: return "High";
   }
   return "?";
-}
-
-std::string render_table1() {
-  scenario::TextTable t({"Switch", "Architecture", "Paradigm", "Processing",
-                         "Virt. iface", "Reprog.", "Languages",
-                         "Main purpose"});
-  for (const auto& p : profiles()) {
-    t.add_row({switches::to_string(p.type), to_string(p.architecture),
-               to_string(p.paradigm), to_string(p.processing),
-               to_string(p.virtual_interface),
-               to_string(p.reprogrammability), p.languages, p.main_purpose});
-  }
-  return t.to_string();
-}
-
-std::string render_table2() {
-  scenario::TextTable t({"Switch", "Applied tuning"});
-  for (const auto& p : profiles()) {
-    if (p.tuning[0] != '\0') {
-      t.add_row({switches::to_string(p.type), p.tuning});
-    }
-  }
-  return t.to_string();
-}
-
-std::string render_table5() {
-  scenario::TextTable t({"Switch", "Best at", "Remarks"});
-  for (const auto& p : profiles()) {
-    t.add_row({switches::to_string(p.type), p.best_at, p.remarks});
-  }
-  return t.to_string();
 }
 
 }  // namespace nfvsb::taxonomy

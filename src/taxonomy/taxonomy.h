@@ -40,9 +40,8 @@ const char* to_string(ProcessingModel m);
 const char* to_string(VirtualInterface v);
 const char* to_string(Reprogrammability r);
 
-/// Render Tables 1, 2 and 5 as text.
-std::string render_table1();
-std::string render_table2();
-std::string render_table5();
+// Text renderings of Tables 1, 2 and 5 live in scenario/taxonomy_tables.h:
+// they are presentation built on the reporting layer, which sits above this
+// one in the layer order.
 
 }  // namespace nfvsb::taxonomy

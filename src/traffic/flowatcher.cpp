@@ -1,5 +1,7 @@
 #include "traffic/flowatcher.h"
 
+#include "core/simulator.h"
+#include "ring/spsc_ring.h"
 #include "traffic/pcap_writer.h"
 
 namespace nfvsb::traffic {

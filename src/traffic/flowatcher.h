@@ -6,11 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "core/simulator.h"
 #include "pkt/headers.h"
+#include "ring/spsc_ring.h"
 #include "ring/vhost_user_port.h"
 #include "stats/latency_recorder.h"
 #include "stats/throughput_meter.h"
@@ -37,9 +38,9 @@ class FloWatcher {
     return latency_;
   }
 
-  /// Per-flow packet counts keyed by 5-tuple hash.
-  [[nodiscard]] const std::unordered_map<std::uint64_t, std::uint64_t>&
-  flows() const {
+  /// Per-flow packet counts keyed by 5-tuple hash (ordered, so dumps and
+  /// range-for iteration are deterministic).
+  [[nodiscard]] const std::map<std::uint64_t, std::uint64_t>& flows() const {
     return flows_;
   }
   [[nodiscard]] std::uint64_t non_ip_packets() const { return non_ip_; }
@@ -53,7 +54,7 @@ class FloWatcher {
   core::Simulator& sim_;
   stats::ThroughputMeter rx_meter_;
   stats::LatencyRecorder latency_;
-  std::unordered_map<std::uint64_t, std::uint64_t> flows_;
+  std::map<std::uint64_t, std::uint64_t> flows_;
   std::uint64_t non_ip_{0};
   std::unique_ptr<class PcapWriter> pcap_;
 };

@@ -13,19 +13,19 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/counter.h"
 #include "core/simulator.h"
 #include "core/units.h"
 #include "hw/nic.h"
-#include "obs/counter.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "ring/vhost_user_port.h"
 #include "stats/latency_recorder.h"
 #include "stats/throughput_meter.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::traffic {
 
@@ -107,14 +107,14 @@ class MoonGen {
   double pace_frac_{0};
   core::SimTime tx_until_{0};
   core::SimTime next_probe_at_{0};
-  obs::Counter tx_sent_;
-  obs::Counter tx_failed_;
-  obs::Counter pool_exhausted_;
+  core::Counter tx_sent_;
+  core::Counter tx_failed_;
+  core::Counter pool_exhausted_;
   std::uint64_t seq_{0};
   std::uint64_t probe_seq_{0};
   stats::ThroughputMeter rx_meter_;
   stats::LatencyRecorder latency_;
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::traffic

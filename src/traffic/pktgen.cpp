@@ -3,14 +3,16 @@
 #include <cassert>
 #include <string>
 
-#include "obs/registry.h"
-#include "obs/trace.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "core/trace_sink.h"
+#include "pkt/packet_pool.h"
 
 namespace nfvsb::traffic {
 
 PktGen::PktGen(core::Simulator& sim, pkt::PacketPool& pool, Config cfg)
     : sim_(sim), pool_(pool), cfg_(cfg), rx_meter_(cfg.meter_open_at) {
-  if (obs::Registry* reg = obs::Registry::current()) {
+  if (core::MetricSink* reg = core::metrics()) {
     registry_ = reg;
     const std::string base = "gen/pktgen." + std::to_string(cfg_.origin);
     reg->add_counter(this, base + "/tx_sent", &tx_sent_);
@@ -67,7 +69,7 @@ void PktGen::emit_one() {
     p->seq = ++seq_;
     p->origin = cfg_.origin;
     pkt::write_payload_seq(*p, p->seq);
-    if (obs::TraceRecorder* t = obs::tracer()) {
+    if (core::TraceSink* t = core::tracer()) {
       if (t->sample_hit(seq_)) p->trace_id = t->next_packet_id();
     }
     if (cfg_.probe_interval > 0 && sim_.now() >= next_probe_at_) {

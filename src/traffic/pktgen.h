@@ -12,17 +12,17 @@
 
 #include <cstdint>
 
+#include "core/counter.h"
 #include "core/simulator.h"
-#include "obs/counter.h"
 #include "pkt/crafting.h"
 #include "pkt/packet_pool.h"
 #include "ring/vhost_user_port.h"
 #include "stats/latency_recorder.h"
 #include "stats/throughput_meter.h"
 
-namespace nfvsb::obs {
-class Registry;
-}  // namespace nfvsb::obs
+namespace nfvsb::core {
+class MetricSink;
+}  // namespace nfvsb::core
 
 namespace nfvsb::traffic {
 
@@ -77,13 +77,13 @@ class PktGen {
   core::SimTime tx_until_{0};
   core::SimTime next_probe_at_{0};
   double pace_frac_{0};
-  obs::Counter tx_sent_;
-  obs::Counter tx_failed_;
+  core::Counter tx_sent_;
+  core::Counter tx_failed_;
   std::uint64_t seq_{0};
   std::uint64_t probe_seq_{0};
   stats::ThroughputMeter rx_meter_;
   stats::LatencyRecorder latency_;
-  obs::Registry* registry_{nullptr};
+  core::MetricSink* registry_{nullptr};
 };
 
 }  // namespace nfvsb::traffic

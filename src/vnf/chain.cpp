@@ -2,7 +2,9 @@
 
 #include <string>
 
+#include "core/simulator.h"
 #include "hw/numa.h"
+#include "switches/switch_base.h"
 #include "vnf/container.h"
 
 namespace nfvsb::vnf {

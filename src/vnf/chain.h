@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/simulator.h"
 #include "hw/numa.h"
 #include "switches/switch_base.h"
 #include "vnf/l2fwd.h"

@@ -3,8 +3,10 @@
 #include <cassert>
 #include <utility>
 
-#include "obs/registry.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
 #include "pkt/headers.h"
+#include "switches/switch_base.h"
 
 namespace nfvsb::vnf {
 
@@ -29,7 +31,7 @@ switches::CostModel L2Fwd::default_cost_model() {
 L2Fwd::L2Fwd(core::Simulator& sim, hw::CpuCore& vcpu, std::string name,
              switches::CostModel cost)
     : SwitchBase(sim, vcpu, std::move(name), cost) {
-  if (obs::Registry* reg = registry()) {
+  if (core::MetricSink* reg = registry()) {
     // Registered under the base `this`, so ~SwitchBase deregisters them.
     reg->add_counter(static_cast<switches::SwitchBase*>(this),
                      "switch/" + this->name() + "/drain_flushes",

@@ -14,6 +14,8 @@
 #include <array>
 #include <optional>
 
+#include "core/counter.h"
+#include "core/simulator.h"
 #include "pkt/headers.h"
 #include "switches/switch_base.h"
 #include "vnf/vm.h"
@@ -70,8 +72,8 @@ class L2Fwd final : public switches::SwitchBase {
   core::SimDuration drain_timeout_{kDrainTimeout};
   std::array<TxBuffer, 2> tx_buf_;
   std::array<std::optional<pkt::MacAddress>, 2> rewrite_;
-  obs::Counter drain_flushes_;
-  obs::Counter full_flushes_;
+  core::Counter drain_flushes_;
+  core::Counter full_flushes_;
 };
 
 }  // namespace nfvsb::vnf

@@ -1,5 +1,7 @@
 #include "vnf/vale_guest.h"
 
+#include "core/simulator.h"
+
 namespace nfvsb::vnf {
 
 GuestVale::GuestVale(core::Simulator& sim, hw::CpuCore& vcpu,

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "core/simulator.h"
 #include "ring/netmap_port.h"
 #include "switches/vale/vale_switch.h"
 

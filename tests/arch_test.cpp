@@ -1,0 +1,210 @@
+// Unit tests for the nfvsb-lint architecture pass: the include extractor,
+// the layers.def manifest parser, and analyze_architecture() over synthetic
+// trees (layer ordering, allow edges, banned headers, cycle detection with
+// deterministic paths, and the IWYU-lite transitive-include rule).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nfvsb-lint/arch.h"
+
+namespace {
+
+using nfvsb::lint::Diagnostic;
+using nfvsb::lint::Include;
+using nfvsb::lint::Manifest;
+using nfvsb::lint::SourceFile;
+using nfvsb::lint::analyze_architecture;
+using nfvsb::lint::extract_includes;
+using nfvsb::lint::parse_manifest;
+
+Manifest manifest_of(const std::string& text) {
+  Manifest m;
+  std::string err;
+  EXPECT_TRUE(parse_manifest(text, m, err)) << err;
+  return m;
+}
+
+std::vector<std::string> rules_of(const std::vector<Diagnostic>& ds) {
+  std::vector<std::string> out;
+  out.reserve(ds.size());
+  for (const Diagnostic& d : ds) out.push_back(d.rule);
+  return out;
+}
+
+// --- extract_includes -------------------------------------------------------
+
+TEST(ArchExtract, QuotedAndAngleForms) {
+  const auto inc = extract_includes(
+      "#include \"pkt/packet.h\"\n"
+      "#include <vector>\n"
+      "  #  include   \"ring/spsc_ring.h\"\n");
+  ASSERT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc[0].target, "pkt/packet.h");
+  EXPECT_FALSE(inc[0].angle);
+  EXPECT_EQ(inc[0].line, 1);
+  EXPECT_EQ(inc[1].target, "vector");
+  EXPECT_TRUE(inc[1].angle);
+  EXPECT_EQ(inc[2].target, "ring/spsc_ring.h");
+  EXPECT_EQ(inc[2].line, 3);
+}
+
+TEST(ArchExtract, CommentsAndStringsAreNotDirectives) {
+  const auto inc = extract_includes(
+      "// #include \"a.h\"\n"
+      "/* #include \"b.h\" */\n"
+      "const char* doc = \"#include <c.h>\";\n"
+      "#include \"real.h\"\n");
+  ASSERT_EQ(inc.size(), 1u);
+  EXPECT_EQ(inc[0].target, "real.h");
+  EXPECT_EQ(inc[0].line, 4);
+}
+
+TEST(ArchExtract, IfZeroBlocksAreDead) {
+  const auto inc = extract_includes(
+      "#if 0\n"
+      "#include \"dead.h\"\n"
+      "#else\n"
+      "#include \"live.h\"\n"
+      "#endif\n"
+      "#ifdef SOME_FLAG\n"
+      "#include \"conditional.h\"\n"
+      "#endif\n");
+  // #if 0 payload dropped, its #else branch live; #ifdef over-approximated
+  // as live.
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_EQ(inc[0].target, "live.h");
+  EXPECT_EQ(inc[1].target, "conditional.h");
+}
+
+// --- manifest parsing -------------------------------------------------------
+
+constexpr const char* kManifest =
+    "# comment\n"
+    "layer core\n"
+    "layer pkt\n"
+    "layer { switches traffic }\n"
+    "layer obs\n"
+    "allow traffic -> obs\n"
+    "ban core pkt : iostream unordered_map\n"
+    "symbol Simulator core/simulator.h\n";
+
+TEST(ArchManifest, RanksGroupsAllowsBansSymbols) {
+  const Manifest m = manifest_of(kManifest);
+  ASSERT_EQ(m.ranks.size(), 4u);
+  EXPECT_EQ(m.rank_of("core"), 0);
+  EXPECT_EQ(m.rank_of("switches"), 2);
+  EXPECT_EQ(m.rank_of("traffic"), 2);  // brace group: one rank
+  EXPECT_EQ(m.rank_of("nope"), -1);
+  EXPECT_TRUE(m.allow.contains({"traffic", "obs"}));
+  EXPECT_TRUE(m.bans.at("pkt").contains("iostream"));
+  ASSERT_EQ(m.symbols.size(), 1u);
+  EXPECT_EQ(m.symbols[0].first, "Simulator");
+  EXPECT_EQ(m.symbols[0].second, "core/simulator.h");
+}
+
+TEST(ArchManifest, MalformedLineReportsLineNumber) {
+  Manifest m;
+  std::string err;
+  EXPECT_FALSE(parse_manifest("layer core\nallow a b\n", m, err));
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+}
+
+// --- layer ordering ---------------------------------------------------------
+
+TEST(ArchLayer, UpwardIncludeIsFlaggedDownwardIsNot) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/pkt/a.h", "#include \"obs/b.h\"\n"},       // upward: flagged
+      {"src/obs/b.h", "#include \"pkt/a2.h\"\n"},      // downward: fine
+      {"src/pkt/a2.h", ""},
+      {"src/switches/s.h", "#include \"traffic/t.h\"\n"},  // rank-mate: fine
+      {"src/traffic/t.h", ""},
+  };
+  const auto ds = analyze_architecture(files, m);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "arch-layer");
+  EXPECT_EQ(ds[0].file, "src/pkt/a.h");
+}
+
+TEST(ArchLayer, AllowEdgePermitsOneUpwardInclude) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/traffic/t.h", "#include \"obs/b.h\"\n"},   // allow-listed
+      {"src/switches/s.h", "#include \"obs/b.h\"\n"},  // not allow-listed
+      {"src/obs/b.h", ""},
+  };
+  const auto ds = analyze_architecture(files, m);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].file, "src/switches/s.h");
+}
+
+// --- banned headers ---------------------------------------------------------
+
+TEST(ArchBan, DataPathBanSparesTestsAndBench) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include <iostream>\n"},
+      {"src/obs/b.h", "#include <iostream>\n"},   // obs has no ban list
+      {"tests/t.cpp", "#include <iostream>\n"},   // exempt
+      {"bench/b.cpp", "#include <iostream>\n"},   // exempt
+  };
+  const auto ds = analyze_architecture(files, m);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "arch-banned-header");
+  EXPECT_EQ(ds[0].file, "src/core/a.h");
+}
+
+// --- cycles -----------------------------------------------------------------
+
+TEST(ArchCycle, SelfIncludeIsACycle) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/a.h\"\n"},
+  };
+  const auto ds = analyze_architecture(files, m);
+  ASSERT_EQ(rules_of(ds), std::vector<std::string>{"arch-cycle"});
+}
+
+TEST(ArchCycle, TwoNodeCycleReportedOnceWithPathAndDeterministic) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/core/a.h", "#include \"core/b.h\"\n"},
+      {"src/core/b.h", "#include \"core/a.h\"\n"},
+      {"src/core/c.h", "#include \"core/a.h\"\n"},  // points in, not cyclic
+  };
+  const auto first = analyze_architecture(files, m);
+  ASSERT_EQ(rules_of(first), std::vector<std::string>{"arch-cycle"});
+  EXPECT_NE(first[0].message.find("src/core/a.h"), std::string::npos);
+  EXPECT_NE(first[0].message.find("src/core/b.h"), std::string::npos);
+
+  // Same component fed in reverse order: identical diagnostic.
+  std::vector<SourceFile> reversed(files.rbegin(), files.rend());
+  const auto second = analyze_architecture(reversed, m);
+  ASSERT_EQ(second.size(), first.size());
+  EXPECT_EQ(second[0].file, first[0].file);
+  EXPECT_EQ(second[0].message, first[0].message);
+}
+
+// --- IWYU-lite --------------------------------------------------------------
+
+TEST(ArchTransitive, SymbolUseWithoutDirectIncludeIsFlagged) {
+  const Manifest m = manifest_of(kManifest);
+  const std::vector<SourceFile> files = {
+      {"src/core/simulator.h", "class Simulator;\n"},
+      {"src/pkt/direct.cpp",
+       "#include \"core/simulator.h\"\nvoid f(Simulator& s);\n"},
+      {"src/pkt/leaky.cpp",
+       "#include \"pkt/other.h\"\nvoid f(Simulator& s);\n"},
+      {"src/pkt/fwd.h", "namespace core { class Simulator; }\n"
+                        "void g(core::Simulator* s);\n"},
+      {"src/pkt/other.h", "#include \"core/simulator.h\"\n"},
+  };
+  const auto ds = analyze_architecture(files, m);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].rule, "arch-transitive-include");
+  EXPECT_EQ(ds[0].file, "src/pkt/leaky.cpp");
+}
+
+}  // namespace

@@ -297,6 +297,56 @@ TEST(LintNodiscard, FixIsIdempotent) {
   EXPECT_TRUE(again.diagnostics.empty());
 }
 
+// --- raw string literals ----------------------------------------------------
+// Regression tests for the raw-string lexer (referenced from scan.cpp).
+// Snippets are assembled from ordinary strings because a raw literal cannot
+// nest the same delimiter.
+
+TEST(LintRawString, BannedTokenInsideRawLiteralIsClean) {
+  const std::string snippet =
+      "const char* doc = R\"(std::random_device rd;)\";\n";
+  EXPECT_TRUE(
+      lint_source("src/traffic/x.cpp", snippet, Options{}).diagnostics.empty());
+}
+
+TEST(LintRawString, EncodingPrefixesOpenRawLiterals) {
+  // uR, u8R, UR, LR are all raw-literal prefixes; their payloads must be
+  // blanked just like a plain R"(...)" payload.
+  const std::string snippet =
+      "auto a = uR\"(rand())\";\n"
+      "auto b = u8R\"(rand())\";\n"
+      "auto c = UR\"(rand())\";\n"
+      "auto d = LR\"(rand())\";\n";
+  EXPECT_TRUE(
+      lint_source("src/traffic/x.cpp", snippet, Options{}).diagnostics.empty());
+}
+
+TEST(LintRawString, IdentifierEndingInRIsNotARawPrefix) {
+  // FLOUR"..." is the identifier FLOUR followed by an ordinary string. A
+  // lexer that misreads it as a raw literal hunts for a ")...\"" terminator
+  // that never comes and blanks the rest of the file — masking the
+  // std::random_device on the next line.
+  const std::string snippet =
+      "auto a = FLOUR\"text\";\n"
+      "std::random_device rd;\n";
+  const FileReport r = lint_source("src/traffic/x.cpp", snippet, Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "entropy");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
+TEST(LintRawString, DelimitedRawLiteralClosesOnItsOwnDelimiter) {
+  // The payload contains a bare )" which must NOT terminate a delimited
+  // raw string; scanning resumes after )x" and still sees the banned call.
+  const std::string snippet =
+      "auto a = R\"x(quote )\" inside)x\";\n"
+      "int y = rand();\n";
+  const FileReport r = lint_source("src/traffic/x.cpp", snippet, Options{});
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].rule, "entropy");
+  EXPECT_EQ(r.diagnostics[0].line, 2);
+}
+
 // --- rule filter ------------------------------------------------------------
 
 TEST(LintOptions, OnlyRulesRestrictsTheRun) {

@@ -14,7 +14,10 @@
 #include "campaign/campaign.h"
 #include "campaign/runner.h"
 #include "campaign/serialize.h"
+#include "core/counter.h"
+#include "core/metrics.h"
 #include "core/simulator.h"
+#include "core/trace_sink.h"
 #include "hw/cable.h"
 #include "hw/nic.h"
 #include "obs/registry.h"
@@ -27,6 +30,9 @@
 
 namespace nfvsb::obs {
 namespace {
+
+using core::Counter;
+using core::Gauge;
 
 // ---- registry ------------------------------------------------------------
 
@@ -77,24 +83,25 @@ TEST(Registry, RemoveDropsOnlyThatOwner) {
 }
 
 TEST(Registry, ScopeInstallsAndRestores) {
-  EXPECT_EQ(Registry::current(), nullptr);
+  EXPECT_EQ(core::metrics(), nullptr);
   Registry r1;
   {
-    Registry::Scope s1(&r1);
-    EXPECT_EQ(Registry::current(), &r1);
+    core::MetricsScope s1(&r1);
+    EXPECT_EQ(core::metrics(), &r1);
     {
-      Registry::Scope s2(nullptr);  // mask: nested runs never cross-register
-      EXPECT_EQ(Registry::current(), nullptr);
+      core::MetricsScope s2(nullptr);  // mask: nested runs never
+                                       // cross-register
+      EXPECT_EQ(core::metrics(), nullptr);
     }
-    EXPECT_EQ(Registry::current(), &r1);
+    EXPECT_EQ(core::metrics(), &r1);
   }
-  EXPECT_EQ(Registry::current(), nullptr);
+  EXPECT_EQ(core::metrics(), nullptr);
 }
 
 TEST(Registry, RingRegistersCountersAndDepthProbe) {
   Registry reg;
   pkt::PacketPool pool(4);  // outside the scope: not registered
-  Registry::Scope scope(&reg);
+  core::MetricsScope scope(&reg);
   {
     ring::SpscRing ring("r0", 4);
     EXPECT_EQ(reg.size(), 4u);  // enqueued, dequeued, drops, cleared
@@ -121,7 +128,7 @@ TEST(Registry, RingRegistersCountersAndDepthProbe) {
 
 TEST(QueueSampler, HistogramMatchesScriptedOccupancy) {
   Registry reg;
-  Registry::Scope scope(&reg);
+  core::MetricsScope scope(&reg);
   core::Simulator sim;
   pkt::PacketPool pool(16);
   ring::SpscRing ring("s", 8);
@@ -190,7 +197,7 @@ TEST(TraceHooks, LiveDataPathEmitsBalancedEvents) {
   TraceRecorder::Config tc;
   tc.packet_sample_every = 1;  // trace every packet
   TraceRecorder tr(sim, tc);
-  TraceInstall install(&tr);
+  core::TraceInstall install(&tr);
   pkt::PacketPool pool(1 << 10);
   hw::NicPort a(sim, "a");
   hw::NicPort b(sim, "b");
@@ -227,7 +234,7 @@ TEST(TraceHooks, LiveDataPathEmitsBalancedEvents) {
 TEST(TraceHooks, ClearClosesResidentSlices) {
   core::Simulator sim;
   TraceRecorder tr(sim, TraceRecorder::Config{});
-  TraceInstall install(&tr);
+  core::TraceInstall install(&tr);
   pkt::PacketPool pool(4);
   ring::SpscRing ring("r", 4);
   auto p = pool.allocate();

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "scenario/report.h"
+#include "scenario/taxonomy_tables.h"
 #include "taxonomy/taxonomy.h"
 
 namespace nfvsb::taxonomy {
@@ -42,14 +43,14 @@ TEST(Taxonomy, Table2HasExactlyThreeTunings) {
 }
 
 TEST(Taxonomy, RenderedTablesContainKeyContent) {
-  const std::string t1 = render_table1();
+  const std::string t1 = scenario::render_table1();
   EXPECT_NE(t1.find("OvS-DPDK"), std::string::npos);
   EXPECT_NE(t1.find("Match/action"), std::string::npos);
   EXPECT_NE(t1.find("Pipeline"), std::string::npos);
-  const std::string t2 = render_table2();
+  const std::string t2 = scenario::render_table2();
   EXPECT_NE(t2.find("4096"), std::string::npos);
   EXPECT_NE(t2.find("MAC learning"), std::string::npos);
-  const std::string t5 = render_table5();
+  const std::string t5 = scenario::render_table5();
   EXPECT_NE(t5.find("VNF chaining"), std::string::npos);
   EXPECT_NE(t5.find("QEMU"), std::string::npos);
 }

@@ -10,129 +10,10 @@
 #include <string_view>
 #include <unordered_set>
 
+#include "nfvsb-lint/scan.h"
+
 namespace nfvsb::lint {
 namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// --- scanner ----------------------------------------------------------------
-// Splits the source into a "code" view (comments removed, string/char
-// literal bodies blanked — both replaced by spaces so offsets and line
-// numbers are preserved) and a "comments" view (only comment bodies kept).
-// Lexer-aware enough for this codebase: //, /* */, "...", '...', raw
-// strings R"delim(...)delim", and digit separators (1'000 is not a char
-// literal).
-struct Scanned {
-  std::string code;
-  std::string comments;
-  std::vector<std::size_t> line_start;  // offset of each line's first char
-};
-
-Scanned scan(const std::string& src) {
-  Scanned out;
-  out.code.assign(src.size(), ' ');
-  out.comments.assign(src.size(), ' ');
-  out.line_start.push_back(0);
-
-  enum class St { Code, LineComment, BlockComment, Str, Chr, RawStr };
-  St st = St::Code;
-  std::string raw_delim;  // for RawStr: the ")delim\"" terminator
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    if (c == '\n') out.line_start.push_back(i + 1);
-    switch (st) {
-      case St::Code: {
-        const char n = i + 1 < src.size() ? src[i + 1] : '\0';
-        if (c == '/' && n == '/') {
-          st = St::LineComment;
-          ++i;  // swallow both slashes
-          if (i < src.size() && src[i] == '\n') out.line_start.push_back(i + 1);
-        } else if (c == '/' && n == '*') {
-          st = St::BlockComment;
-          ++i;
-        } else if (c == '"') {
-          // Raw string literal? Preceded by an R prefix (R, u8R, uR, LR).
-          const bool raw = i > 0 && src[i - 1] == 'R' &&
-                           (i == 1 || !is_ident(src[i - 2]) ||
-                            src[i - 2] == '8' || src[i - 2] == 'u' ||
-                            src[i - 2] == 'L');
-          out.code[i] = '"';
-          if (raw) {
-            raw_delim = ")";
-            std::size_t j = i + 1;
-            while (j < src.size() && src[j] != '(') raw_delim += src[j++];
-            raw_delim += '"';
-            st = St::RawStr;
-          } else {
-            st = St::Str;
-          }
-        } else if (c == '\'' && i > 0 && is_ident(src[i - 1])) {
-          out.code[i] = c;  // digit separator (1'000): stays code
-        } else if (c == '\'') {
-          out.code[i] = '\'';
-          st = St::Chr;
-        } else {
-          out.code[i] = c;
-        }
-        break;
-      }
-      case St::LineComment:
-        if (c == '\n') {
-          out.code[i] = '\n';
-          st = St::Code;
-        } else {
-          out.comments[i] = c;
-        }
-        break;
-      case St::BlockComment:
-        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
-          st = St::Code;
-          ++i;
-          if (src[i] == '\n') out.line_start.push_back(i + 1);
-        } else if (c == '\n') {
-          out.code[i] = '\n';
-        } else {
-          out.comments[i] = c;
-        }
-        break;
-      case St::Str:
-        if (c == '\\') {
-          ++i;
-          if (i < src.size() && src[i] == '\n') out.line_start.push_back(i + 1);
-        } else if (c == '"') {
-          out.code[i] = '"';
-          st = St::Code;
-        } else if (c == '\n') {
-          out.code[i] = '\n';  // unterminated; recover
-          st = St::Code;
-        }
-        break;
-      case St::Chr:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          out.code[i] = '\'';
-          st = St::Code;
-        } else if (c == '\n') {
-          out.code[i] = '\n';
-          st = St::Code;
-        }
-        break;
-      case St::RawStr:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          i += raw_delim.size() - 1;
-          out.code[i] = '"';
-          st = St::Code;
-        } else if (c == '\n') {
-          out.code[i] = '\n';
-        }
-        break;
-    }
-  }
-  return out;
-}
 
 // --- path scopes ------------------------------------------------------------
 
@@ -179,8 +60,7 @@ struct Ctx {
   const Options& opts;
   FileReport& report;
   // Per-line suppression state parsed from comments.
-  std::vector<std::set<std::string>> allows;  // rules allowed per line (0-based)
-  std::vector<bool> ordered_sum_note;
+  LineDirectives directives;
 
   [[nodiscard]] int line_of(std::size_t off) const {
     const auto it = std::upper_bound(sc.line_start.begin(),
@@ -189,11 +69,7 @@ struct Ctx {
   }
 
   [[nodiscard]] bool suppressed(const std::string& rule, int line) const {
-    for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
-      const auto idx = static_cast<std::size_t>(l);
-      if (idx < allows.size() && allows[idx].count(rule) != 0) return true;
-    }
-    return false;
+    return directives.suppressed(rule, line);
   }
 
   void diag(const std::string& rule, std::size_t off, std::string msg) {
@@ -202,61 +78,6 @@ struct Ctx {
     report.diagnostics.push_back(Diagnostic{path, line, rule, std::move(msg)});
   }
 };
-
-void parse_directives(Ctx& ctx) {
-  const std::size_t nlines = ctx.sc.line_start.size();
-  ctx.allows.resize(nlines);
-  ctx.ordered_sum_note.resize(nlines, false);
-  for (std::size_t l = 0; l < nlines; ++l) {
-    const std::size_t b = ctx.sc.line_start[l];
-    const std::size_t e = l + 1 < nlines ? ctx.sc.line_start[l + 1]
-                                         : ctx.src.size();
-    const std::string_view cmt(ctx.sc.comments.data() + b, e - b);
-    const std::size_t tag = cmt.find("nfvsb-lint:");
-    if (tag == std::string_view::npos) continue;
-    std::string_view rest = cmt.substr(tag + 11);
-    if (rest.find("ordered-sum") != std::string_view::npos &&
-        rest.find("allow") == std::string_view::npos) {
-      ctx.ordered_sum_note[l] = true;
-      continue;
-    }
-    const std::size_t open = rest.find("allow(");
-    if (open == std::string_view::npos) continue;
-    const std::size_t close = rest.find(')', open);
-    if (close == std::string_view::npos) continue;
-    std::string list(rest.substr(open + 6, close - open - 6));
-    std::stringstream ss(list);
-    for (std::string id; std::getline(ss, id, ',');) {
-      id.erase(std::remove_if(id.begin(), id.end(),
-                              [](char c) { return std::isspace(
-                                  static_cast<unsigned char>(c)) != 0; }),
-               id.end());
-      if (!id.empty()) ctx.allows[l].insert(id);
-    }
-  }
-}
-
-// Find the next word-bounded occurrence of `tok` in `code` at/after `from`.
-std::size_t find_token(const std::string& code, std::string_view tok,
-                       std::size_t from) {
-  while (true) {
-    const std::size_t p = code.find(tok, from);
-    if (p == std::string::npos) return std::string::npos;
-    const bool lb = p == 0 || !is_ident(code[p - 1]);
-    const std::size_t after = p + tok.size();
-    const bool rb = after >= code.size() || !is_ident(code[after]);
-    if (lb && rb) return p;
-    from = p + 1;
-  }
-}
-
-std::size_t skip_ws(const std::string& s, std::size_t p) {
-  while (p < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[p])) != 0) {
-    ++p;
-  }
-  return p;
-}
 
 // Last identifier component of a range expression: "mon.flows()" -> "flows",
 // "buckets_[b]" -> "buckets_", "*it" -> "it".
@@ -550,7 +371,8 @@ void rule_ordered_sum(Ctx& ctx) {
     bool noted = false;
     for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
       const auto idx = static_cast<std::size_t>(l);
-      if (idx < ctx.ordered_sum_note.size() && ctx.ordered_sum_note[idx]) {
+      if (idx < ctx.directives.ordered_sum_note.size() &&
+          ctx.directives.ordered_sum_note[idx]) {
         noted = true;
       }
     }
@@ -670,8 +492,8 @@ FileReport lint_source(const std::string& path, const std::string& content,
                        const Options& opts) {
   FileReport report;
   const Scanned sc = scan(content);
-  Ctx ctx{path, content, sc, classify(path), opts, report, {}, {}};
-  parse_directives(ctx);
+  Ctx ctx{path, content, sc, classify(path), opts, report,
+          parse_line_directives(content, sc)};
 
   if (rule_enabled(opts, "wall-clock")) rule_wall_clock(ctx);
   if (rule_enabled(opts, "entropy")) rule_entropy(ctx);
@@ -709,7 +531,7 @@ FileReport lint_source(const std::string& path, const std::string& content,
 }
 
 int run(const std::vector<std::string>& paths, const Options& opts,
-        std::ostream& out) {
+        std::ostream& out, std::vector<Diagnostic>* collect) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& p : paths) {
@@ -748,6 +570,7 @@ int run(const std::vector<std::string>& paths, const Options& opts,
       const bool fixed = d.message.rfind("fixed:", 0) == 0;
       out << d.file << ":" << d.line << ": [" << d.rule << "] " << d.message
           << "\n";
+      if (collect != nullptr && !fixed) collect->push_back(d);
       if (fixed) {
         ++fixes;
       } else {

@@ -78,8 +78,10 @@ FileReport lint_source(const std::string& path, const std::string& content,
 /// Lint files and directories (recursing into *.h / *.cpp). Diagnostics are
 /// printed to `out` as `file:line: [rule] message`, sorted by path so output
 /// is deterministic. With Options::fix, fixed files are rewritten in place.
+/// When `collect` is non-null, every diagnostic is also appended to it (the
+/// SARIF writer consumes the combined list across passes).
 /// Returns the process exit code: 0 clean, 1 findings, 2 bad invocation/IO.
 int run(const std::vector<std::string>& paths, const Options& opts,
-        std::ostream& out);
+        std::ostream& out, std::vector<Diagnostic>* collect = nullptr);
 
 }  // namespace nfvsb::lint

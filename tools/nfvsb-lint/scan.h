@@ -1,0 +1,53 @@
+// Shared lexer for nfvsb-lint passes.
+//
+// scan() splits a C++ source into a "code" view (comments removed,
+// string/char literal bodies blanked — both replaced by spaces so offsets
+// and line numbers are preserved) and a "comments" view (only comment
+// bodies kept). Lexer-aware enough for this codebase: //, /* */, "...",
+// '...', raw strings R"delim(...)delim" (including u8R/uR/UR/LR prefixes),
+// and digit separators (1'000 is not a char literal).
+//
+// Both the per-file rule pass (lint.cpp) and the whole-program architecture
+// pass (arch.cpp) are built on these views, so a literal or comment can
+// never leak a token into either pass.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nfvsb::lint {
+
+[[nodiscard]] bool is_ident(char c);
+
+struct Scanned {
+  std::string code;
+  std::string comments;
+  std::vector<std::size_t> line_start;  // offset of each line's first char
+};
+
+[[nodiscard]] Scanned scan(const std::string& src);
+
+/// Next word-bounded occurrence of `tok` in `code` at/after `from`.
+[[nodiscard]] std::size_t find_token(const std::string& code,
+                                     std::string_view tok, std::size_t from);
+
+[[nodiscard]] std::size_t skip_ws(const std::string& s, std::size_t p);
+
+/// Per-line lint directives parsed from the comments view.
+struct LineDirectives {
+  /// Rules allowed per 0-based line (`// nfvsb-lint: allow(rule, ...)`).
+  std::vector<std::set<std::string>> allows;
+  /// `// nfvsb-lint: ordered-sum` notes per 0-based line.
+  std::vector<bool> ordered_sum_note;
+
+  /// True when `rule` is allowed on 1-based `line` or the line above it.
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const;
+};
+
+[[nodiscard]] LineDirectives parse_line_directives(const std::string& src,
+                                                   const Scanned& sc);
+
+}  // namespace nfvsb::lint
